@@ -1,0 +1,83 @@
+/**
+ * @file
+ * §4.6 area overheads + §4.4 access energies: the CACTI-lite
+ * reconstruction of the paper's area claims (ISRF1 +11%, ISRF4 +18%,
+ * cross-lane +22% over a sequential 128 KB SRF; cache +100-150%;
+ * 1.5%-3% of total die area) and the energy claims (indexed access
+ * ~4x a sequential word, ~0.1 nJ, an order of magnitude below DRAM).
+ */
+#include "area/cacti_lite.h"
+#include "area/energy.h"
+#include "bench_util.h"
+
+using namespace isrf;
+using namespace isrf::bench;
+
+namespace {
+
+void
+printBreakdown(const SrfAreaModel &model, const AreaBreakdown &b)
+{
+    Table t({"Component", "Area (um^2)", "Share"});
+    for (const auto &c : b.components) {
+        t.addRow({c.name, fmtDouble(c.um2, 0),
+                  fmtDouble(100.0 * c.um2 / b.total(), 1) + "%"});
+    }
+    std::printf("%s: %.3f mm^2 (overhead over sequential: %+.1f%%)\n%s\n",
+                b.name.c_str(), b.mm2(),
+                100.0 * model.overheadOver(b), t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    heading("SRF area overheads and access energy",
+            "Section 4.6 (area) and Section 4.4 (energy)");
+
+    SrfAreaModel model;
+    printBreakdown(model, model.sequential());
+    printBreakdown(model, model.isrf1());
+    printBreakdown(model, model.isrf4());
+    printBreakdown(model, model.crossLane());
+    printBreakdown(model, model.cache());
+
+    Table summary({"Variant", "Overhead over seq. SRF", "Paper",
+                   "Die-area increase"});
+    auto row = [&](const char *name, const AreaBreakdown &b,
+                   const char *paper) {
+        double ovh = model.overheadOver(b);
+        summary.addRow({name, fmtDouble(100.0 * ovh, 1) + "%", paper,
+                        fmtDouble(100.0 * model.dieFraction(ovh), 2) +
+                            "%"});
+    };
+    row("ISRF1", model.isrf1(), "11%");
+    row("ISRF4", model.isrf4(), "18%");
+    row("ISRF4 + cross-lane", model.crossLane(), "22%");
+    row("Vector cache", model.cache(), "100%-150%");
+    std::printf("%s\n", summary.render().c_str());
+    std::printf("Die share basis: SRF ~13.6%% of the Imagine die [13]; "
+                "paper reports 1.5%%-3%% total die increase.\n\n");
+
+    EnergyModel energy;
+    Table e({"Access", "Energy/word", "Paper"});
+    e.addRow({"Sequential SRF word",
+              fmtDouble(energy.params().seqSrfPerWordPj, 0) + " pJ",
+              "~25 pJ (1/4 of indexed)"});
+    e.addRow({"Indexed SRF word",
+              fmtDouble(energy.params().idxSrfPerWordPj, 0) + " pJ",
+              "~0.1 nJ"});
+    e.addRow({"Cache word",
+              fmtDouble(energy.params().cachePerWordPj, 0) + " pJ", "-"});
+    e.addRow({"Off-chip DRAM word",
+              fmtDouble(energy.params().dramPerWordPj, 0) + " pJ",
+              "~5 nJ"});
+    std::printf("%s\n", e.render().c_str());
+    std::printf("Indexed/sequential energy ratio: %.1fx (paper: ~4x)\n",
+                energy.indexedToSeqRatio());
+    std::printf("DRAM/indexed energy ratio: %.0fx (paper: 'an order of "
+                "magnitude lower' than DRAM)\n",
+                energy.dramToIndexedRatio());
+    return 0;
+}

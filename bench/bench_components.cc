@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's primitives:
+ * scheduler, SRF cycle processing, cache accesses, crossbar
+ * arbitration, and the functional reference kernels. These measure the
+ * *simulator's* performance (host side), useful when extending the
+ * model; the architectural results live in the bench_fig* binaries.
+ */
+#include <benchmark/benchmark.h>
+
+#include "kernel/scheduler.h"
+#include "mem/cache.h"
+#include "net/crossbar.h"
+#include "srf/srf.h"
+#include "util/random.h"
+#include "workloads/fft.h"
+#include "workloads/rijndael.h"
+#include "workloads/sort.h"
+
+namespace isrf {
+namespace {
+
+void
+BM_ModuloSchedule(benchmark::State &state)
+{
+    KernelGraph g = rijndaelRoundIdxGraph();
+    ModuloScheduler sched;
+    auto sep = static_cast<uint32_t>(state.range(0));
+    for (auto _ : state) {
+        KernelSchedule s = sched.schedule(g, sep);
+        benchmark::DoNotOptimize(s.ii);
+    }
+}
+BENCHMARK(BM_ModuloSchedule)->Arg(2)->Arg(6)->Arg(10);
+
+void
+BM_SrfIndexedCycle(benchmark::State &state)
+{
+    SrfGeometry geom;
+    Srf srf;
+    srf.init(geom, SrfMode::Indexed4, nullptr);
+    SlotConfig cfg;
+    cfg.dir = StreamDir::In;
+    cfg.indexed = true;
+    cfg.layout = StreamLayout::PerLane;
+    cfg.lengthWords = 1024;
+    SlotId id = srf.openSlot(cfg);
+    Rng rng(1);
+    Cycle now = 0;
+    Word tmp[4];
+    for (auto _ : state) {
+        srf.beginCycle(now);
+        for (uint32_t l = 0; l < geom.lanes; l++) {
+            while (srf.idxDataReady(l, id, now))
+                srf.idxDataPop(l, id, tmp);
+            if (srf.idxCanIssue(l, id))
+                srf.idxIssueRead(l, id,
+                    static_cast<uint32_t>(rng.below(1024)));
+        }
+        srf.endCycle(now);
+        now++;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            geom.lanes);
+}
+BENCHMARK(BM_SrfIndexedCycle);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache;
+    Rng rng(2);
+    for (auto _ : state) {
+        auto r = cache.access(rng.below(1 << 20), false);
+        benchmark::DoNotOptimize(r.hit);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CrossbarArbitration(benchmark::State &state)
+{
+    Crossbar xbar;
+    xbar.init(8, 1, 1);
+    Rng rng(3);
+    for (auto _ : state) {
+        xbar.newCycle();
+        for (int i = 0; i < 8; i++) {
+            xbar.tryTransfer(static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(rng.below(8)));
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_CrossbarArbitration);
+
+void
+BM_AesBlockTTable(benchmark::State &state)
+{
+    std::array<uint8_t, 16> key{}, pt{};
+    for (int i = 0; i < 16; i++) {
+        key[i] = static_cast<uint8_t>(i);
+        pt[i] = static_cast<uint8_t>(0x11 * i);
+    }
+    auto rk = aesExpandKey128(key);
+    for (auto _ : state) {
+        pt = aesEncryptBlock128(rk, pt);
+        benchmark::DoNotOptimize(pt[0]);
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            16);
+}
+BENCHMARK(BM_AesBlockTTable);
+
+void
+BM_FftStage(benchmark::State &state)
+{
+    std::vector<Cplx> a(64 * 64);
+    Rng rng(4);
+    for (auto &c : a)
+        c = Cplx(rng.uniformf(-1, 1), rng.uniformf(-1, 1));
+    for (auto _ : state) {
+        a = fftDifStageRows(a, 64, 0);
+        benchmark::DoNotOptimize(a[0]);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            64 * 32);
+}
+BENCHMARK(BM_FftStage);
+
+} // namespace
+} // namespace isrf
+
+BENCHMARK_MAIN();

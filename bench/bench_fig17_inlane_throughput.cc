@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 17: sustained in-lane indexed SRF throughput as a function of
+ * the number of sub-arrays per bank (1/2/4/8) and the address-FIFO
+ * size (1..8), under 4 random single-word reads per cycle per cluster.
+ *
+ * Paper shape: throughput rises with FIFO size (more addresses issue
+ * before stalling on conflicts) and with sub-array count (conflict
+ * probability falls), but per-sub-array utilization drops at 8
+ * sub-arrays because of head-of-line blocking in the FIFOs.
+ */
+#include "bench_util.h"
+#include "workloads/micro.h"
+
+using namespace isrf;
+using namespace isrf::bench;
+
+int
+main()
+{
+    heading("In-lane indexed throughput vs sub-arrays and FIFO size "
+            "(words/cycle/lane)", "Figure 17");
+
+    std::vector<uint32_t> subArrays = {1, 2, 4, 8};
+    std::vector<uint32_t> fifos = {1, 2, 3, 4, 6, 8};
+
+    std::vector<std::string> header = {"Sub-arrays/bank"};
+    for (uint32_t f : fifos)
+        header.push_back("FIFO=" + std::to_string(f));
+    Table t(header);
+
+    for (uint32_t s : subArrays) {
+        std::vector<std::string> row = {std::to_string(s)};
+        for (uint32_t f : fifos) {
+            InLaneMicroParams p;
+            p.subArrays = s;
+            p.fifoSize = f;
+            row.push_back(fmtDouble(inLaneRandomThroughput(p), 3));
+        }
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // Utilization check: throughput per sub-array must fall with s.
+    InLaneMicroParams p4, p8;
+    p4.subArrays = 4;
+    p8.subArrays = 8;
+    double u4 = inLaneRandomThroughput(p4) / 4.0;
+    double u8 = inLaneRandomThroughput(p8) / 8.0;
+    std::printf("Per-sub-array utilization at FIFO=8: s=4 -> %.3f, "
+                "s=8 -> %.3f\n(head-of-line blocking: utilization "
+                "drops as sub-arrays increase)\n", u4, u8);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 18: sustained cross-lane indexed SRF throughput as a function
+ * of the number of network ports per SRF bank (1/2/4) and the fraction
+ * of the static schedule occupied by unrelated inter-cluster
+ * communication (0%..80%), under 1 random cross-lane read + 3
+ * sequential stream accesses per cycle per cluster.
+ *
+ * Paper shape: going from 1 to 2 ports per bank helps substantially,
+ * 2 to 4 only marginally; and throughput degrades by <= ~20% across a
+ * wide occupancy range — contention for the SRF port, not network
+ * traffic, is the dominant limiter, which is why the paper multiplexes
+ * cross-lane data onto the single inter-cluster network.
+ */
+#include "bench_util.h"
+#include "workloads/micro.h"
+
+using namespace isrf;
+using namespace isrf::bench;
+
+int
+main()
+{
+    heading("Cross-lane indexed throughput vs bank ports and "
+            "inter-cluster occupancy (words/cycle/lane)", "Figure 18");
+
+    std::vector<uint32_t> ports = {1, 2, 4};
+    std::vector<double> occs = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                0.7, 0.8};
+
+    std::vector<std::string> header = {"Occupancy"};
+    for (uint32_t p : ports)
+        header.push_back(std::to_string(p) + " acc/bank");
+    Table t(header);
+
+    std::vector<std::vector<double>> grid(occs.size(),
+                                          std::vector<double>(
+                                              ports.size()));
+    for (size_t oi = 0; oi < occs.size(); oi++) {
+        std::vector<std::string> row = {
+            fmtDouble(occs[oi] * 100, 0) + "%"};
+        for (size_t pi = 0; pi < ports.size(); pi++) {
+            CrossLaneMicroParams p;
+            p.netPortsPerBank = ports[pi];
+            p.commOccupancy = occs[oi];
+            grid[oi][pi] = crossLaneRandomThroughput(p);
+            row.push_back(fmtDouble(grid[oi][pi], 3));
+        }
+        t.addRow(row);
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    double gain12 = grid[0][1] / grid[0][0];
+    double gain24 = grid[0][2] / grid[0][1];
+    std::printf("Port scaling at 0%% occupancy: 1->2 ports: +%.0f%%, "
+                "2->4 ports: +%.0f%%\n(paper: large then marginal)\n",
+                100.0 * (gain12 - 1.0), 100.0 * (gain24 - 1.0));
+    for (size_t pi = 0; pi < ports.size(); pi++) {
+        double drop = 1.0 - grid.back()[pi] / grid[0][pi];
+        std::printf("Throughput loss at 80%% occupancy with %u "
+                    "port(s): %.0f%%\n", ports[pi], 100.0 * drop);
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tables 2 and 3: the four machine configurations and their resolved
+ * parameters, printed from the actual MachineConfig factories so the
+ * simulated machines provably match the paper's parameters.
+ */
+#include "bench_util.h"
+
+using namespace isrf;
+using namespace isrf::bench;
+
+int
+main()
+{
+    heading("Machine configurations", "Tables 2 and 3");
+
+    std::printf("Table 2: configuration summary\n");
+    Table t2({"Config", "Description"});
+    t2.addRow({"Base", "Sequential SRF backed by off-chip DRAM"});
+    t2.addRow({"ISRF1", "Indexed SRF, 1 word/cycle/lane in-lane indexed "
+                        "BW (no sub-banking) + cross-lane"});
+    t2.addRow({"ISRF4", "Indexed SRF, up to 4 words/cycle/lane in-lane "
+                        "(4 sub-arrays/lane) + cross-lane"});
+    t2.addRow({"Cache", "Sequential SRF backed by on-chip cache and "
+                        "off-chip DRAM"});
+    std::printf("%s\n", t2.render().c_str());
+
+    std::printf("Table 3: machine parameters (resolved)\n");
+    Table t({"Parameter", "Base", "ISRF1", "ISRF4", "Cache"});
+    MachineConfig cfgs[4] = {MachineConfig::base(), MachineConfig::isrf1(),
+                             MachineConfig::isrf4(),
+                             MachineConfig::cacheCfg()};
+    auto row = [&](const std::string &name,
+                   const std::function<std::string(
+                       const MachineConfig &)> &f) {
+        t.addRow({name, f(cfgs[0]), f(cfgs[1]), f(cfgs[2]), f(cfgs[3])});
+    };
+    row("Lanes", [](const MachineConfig &c) {
+        return std::to_string(c.srf.lanes);
+    });
+    row("SRF capacity (KB)", [](const MachineConfig &c) {
+        return std::to_string(c.srf.totalBytes() / 1024);
+    });
+    row("Peak seq SRF BW (words/cycle)", [](const MachineConfig &c) {
+        return std::to_string(c.srf.seqAccessWords());
+    });
+    row("Sequential SRF latency", [](const MachineConfig &c) {
+        return std::to_string(c.srf.seqLatency);
+    });
+    row("Stream buffer (words/lane/stream)", [](const MachineConfig &c) {
+        return std::to_string(c.srf.streamBufWords);
+    });
+    row("Address FIFO (entries)", [](const MachineConfig &c) {
+        return c.srfMode == SrfMode::SequentialOnly
+            ? "n/a" : std::to_string(c.srf.addrFifoSize);
+    });
+    row("Peak in-lane idx BW (w/cyc/cluster)", [](const MachineConfig &c) {
+        switch (c.srfMode) {
+          case SrfMode::SequentialOnly: return std::string("n/a");
+          case SrfMode::Indexed1: return std::string("1");
+          case SrfMode::Indexed4:
+            return std::to_string(c.srf.subArrays);
+        }
+        return std::string("?");
+    });
+    row("Peak cross-lane idx BW (w/cyc/cluster)",
+        [](const MachineConfig &c) {
+            return c.srfMode == SrfMode::SequentialOnly
+                ? "n/a" : "1";
+        });
+    row("In-lane indexed latency", [](const MachineConfig &c) {
+        return c.srfMode == SrfMode::SequentialOnly
+            ? "n/a" : std::to_string(c.srf.inLaneLatency);
+    });
+    row("Cross-lane indexed latency", [](const MachineConfig &c) {
+        return c.srfMode == SrfMode::SequentialOnly
+            ? "n/a" : std::to_string(c.srf.crossLaneLatency);
+    });
+    row("Peak DRAM BW (words/cycle)", [](const MachineConfig &c) {
+        return fmtDouble(c.dram.wordsPerCycle, 3);
+    });
+    row("Cache size (KB)", [](const MachineConfig &c) {
+        return c.mem.cacheEnabled
+            ? std::to_string(c.cache.capacityWords * 4 / 1024) : "n/a";
+    });
+    row("Cache associativity", [](const MachineConfig &c) {
+        return c.mem.cacheEnabled ? std::to_string(c.cache.ways) : "n/a";
+    });
+    row("Cache banks", [](const MachineConfig &c) {
+        return c.mem.cacheEnabled ? std::to_string(c.cache.banks) : "n/a";
+    });
+    row("Cache line (words)", [](const MachineConfig &c) {
+        return c.mem.cacheEnabled
+            ? std::to_string(c.cache.lineWords) : "n/a";
+    });
+    row("Peak cache BW (words/cycle)", [](const MachineConfig &c) {
+        return c.mem.cacheEnabled
+            ? fmtDouble(c.cache.wordsPerCycle, 1) : "n/a";
+    });
+    row("ALUs / divider per lane", [](const MachineConfig &c) {
+        return std::to_string(c.cluster.aluSlots) + " / " +
+            std::to_string(c.cluster.divSlots);
+    });
+    row("Addr/data separation (in/cross)", [](const MachineConfig &c) {
+        return std::to_string(c.inLaneSeparation) + " / " +
+            std::to_string(c.crossLaneSeparation);
+    });
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Clock 1 GHz; peak compute 32 GFLOPs (8 lanes x 4 "
+                "pipelined FP units); DRAM 9.14 GB/s.\n");
+    return 0;
+}

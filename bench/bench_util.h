@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: standard benchmark and
+ * configuration lists, result caching across a binary's tables, and
+ * printing conventions.
+ */
+#ifndef ISRF_BENCH_BENCH_UTIL_H
+#define ISRF_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/table.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+namespace bench {
+
+/** Benchmark order used by the paper's figures. */
+inline const std::vector<std::string> &
+benchmarkOrder()
+{
+    static const std::vector<std::string> names = {
+        "FFT 2D", "Rijndael", "Sort", "Filter",
+        "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL",
+    };
+    return names;
+}
+
+inline const std::vector<MachineKind> &
+machineOrder()
+{
+    static const std::vector<MachineKind> kinds = {
+        MachineKind::Base, MachineKind::ISRF1, MachineKind::ISRF4,
+        MachineKind::Cache,
+    };
+    return kinds;
+}
+
+/** Runs-and-caches workload results within one bench binary. */
+class ResultCache
+{
+  public:
+    explicit ResultCache(WorkloadOptions opts = {}) : opts_(opts) {}
+
+    const WorkloadResult &
+    get(const std::string &name, MachineKind kind)
+    {
+        auto key = name + "/" + machineKindName(kind);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            std::fprintf(stderr, "  [running %s on %s...]\n",
+                         name.c_str(), machineKindName(kind));
+            it = cache_.emplace(key,
+                                runWorkload(name, kind, opts_)).first;
+            if (!it->second.correct) {
+                std::fprintf(stderr,
+                    "  WARNING: %s on %s failed functional validation\n",
+                    name.c_str(), machineKindName(kind));
+            }
+        }
+        return it->second;
+    }
+
+    WorkloadOptions &options() { return opts_; }
+
+  private:
+    WorkloadOptions opts_;
+    std::map<std::string, WorkloadResult> cache_;
+};
+
+inline void
+heading(const char *title, const char *paperRef)
+{
+    std::printf("\n================================================="
+                "=============================\n");
+    std::printf("%s\n", title);
+    std::printf("Reproduces: %s\n", paperRef);
+    std::printf("==================================================="
+                "===========================\n\n");
+}
+
+} // namespace bench
+} // namespace isrf
+
+#endif // ISRF_BENCH_BENCH_UTIL_H

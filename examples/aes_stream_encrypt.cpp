@@ -1,0 +1,89 @@
+/**
+ * @file
+ * AES stream encryption demo: encrypts a message with the library's
+ * FIPS-197-validated AES-128 CBC implementation, then shows what the
+ * same T-table workload costs on each simulated machine — the §3.2
+ * "table lookups" construct, where the indexed SRF keeps the four
+ * 1 KB T-tables on chip and turns each round's 16 memory references
+ * into in-lane SRF accesses.
+ *
+ * Build & run:  ./build/examples/aes_stream_encrypt
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "util/table.h"
+#include "workloads/rijndael.h"
+
+using namespace isrf;
+
+int
+main()
+{
+    // 1. Functional AES-128 CBC over a demo message.
+    const std::string msg =
+        "Stream register files with indexed access, HPCA 2004. "
+        "This message is encrypted by the reproduction's own AES.";
+    std::array<uint8_t, 16> key{};
+    std::array<uint8_t, 16> iv{};
+    for (int i = 0; i < 16; i++) {
+        key[i] = static_cast<uint8_t>(i);
+        iv[i] = static_cast<uint8_t>(0xa0 + i);
+    }
+    std::vector<std::array<uint8_t, 16>> blocks;
+    for (size_t off = 0; off < msg.size(); off += 16) {
+        std::array<uint8_t, 16> blk{};
+        for (size_t i = 0; i < 16 && off + i < msg.size(); i++)
+            blk[i] = static_cast<uint8_t>(msg[off + i]);
+        blocks.push_back(blk);
+    }
+    auto cipher = aesCbcEncrypt128(key, iv, blocks);
+    std::printf("AES-128-CBC of a %zu-byte message (%zu blocks):\n  ",
+                msg.size(), cipher.size());
+    for (size_t b = 0; b < 2 && b < cipher.size(); b++)
+        for (uint8_t byte : cipher[b])
+            std::printf("%02x", byte);
+    std::printf("... (first 2 blocks)\n\n");
+
+    // 2. FIPS-197 appendix C.1 self-check.
+    std::array<uint8_t, 16> fipsKey{}, fipsPt{};
+    for (int i = 0; i < 16; i++) {
+        fipsKey[i] = static_cast<uint8_t>(i);
+        fipsPt[i] = static_cast<uint8_t>(0x11 * i);
+    }
+    auto ct = aesEncryptBlock128(aesExpandKey128(fipsKey), fipsPt);
+    const uint8_t expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                0x70, 0xb4, 0xc5, 0x5a};
+    bool fipsOk = std::memcmp(ct.data(), expect, 16) == 0;
+    std::printf("FIPS-197 C.1 vector check: %s\n\n",
+                fipsOk ? "PASS" : "FAIL");
+
+    // 3. The same workload on each simulated machine.
+    std::printf("Encrypting 8 independent CBC streams (one per "
+                "cluster) on each machine:\n");
+    WorkloadOptions opts;
+    opts.repeats = 2;
+    Table t({"Config", "Cycles", "Speedup", "DRAM words",
+             "SRF stall%", "Correct"});
+    uint64_t base = 0;
+    for (MachineKind kind : {MachineKind::Base, MachineKind::ISRF1,
+                             MachineKind::ISRF4, MachineKind::Cache}) {
+        WorkloadResult r = runRijndael(MachineConfig::make(kind), opts);
+        if (kind == MachineKind::Base)
+            base = r.cycles;
+        t.addRow({machineKindName(kind), std::to_string(r.cycles),
+                  fmtDouble(static_cast<double>(base) /
+                            static_cast<double>(r.cycles), 2) + "x",
+                  std::to_string(r.dramWords),
+                  fmtDouble(100.0 *
+                      static_cast<double>(r.breakdown.srfStall) /
+                      static_cast<double>(r.breakdown.total()), 1),
+                  r.correct ? "yes" : "NO"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: 4.11x on ISRF4, ~95%% less memory traffic; "
+                "ISRF1 loses 42%% to SRF stalls.\n");
+    return fipsOk ? 0 : 1;
+}

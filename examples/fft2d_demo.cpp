@@ -1,0 +1,59 @@
+/**
+ * @file
+ * 2D FFT demo: runs the paper's 64x64 FFT benchmark on all four
+ * machine configurations and compares execution time, memory traffic
+ * and the execution-time breakdown — the §3.2 "multi-dimensional array
+ * accesses" motivating example, where indexed SRF access eliminates
+ * the data rotation through memory.
+ *
+ * Build & run:  ./build/examples/fft2d_demo
+ */
+#include <cstdio>
+
+#include "util/table.h"
+#include "workloads/fft.h"
+
+using namespace isrf;
+
+int
+main()
+{
+    std::printf("64x64 complex 2D FFT on a stream processor\n");
+    std::printf("(Base must rotate the array through memory between "
+                "passes;\n ISRF reads columns via in-lane indexed SRF "
+                "access; Cache captures\n the rotation on-chip but "
+                "still executes it.)\n\n");
+
+    WorkloadOptions opts;
+    opts.repeats = 2;
+
+    Table t({"Config", "Cycles", "Speedup", "DRAM words", "Traffic",
+             "Loop%", "Mem%", "SRF%", "Ovh%", "Correct"});
+    uint64_t baseCycles = 0, baseWords = 0;
+    for (MachineKind kind : {MachineKind::Base, MachineKind::ISRF1,
+                             MachineKind::ISRF4, MachineKind::Cache}) {
+        WorkloadResult r = runFft2d(MachineConfig::make(kind), opts);
+        if (kind == MachineKind::Base) {
+            baseCycles = r.cycles;
+            baseWords = r.dramWords;
+        }
+        auto pct = [&](uint64_t v) {
+            return fmtDouble(100.0 * static_cast<double>(v) /
+                             static_cast<double>(r.breakdown.total()), 1);
+        };
+        t.addRow({machineKindName(kind), std::to_string(r.cycles),
+                  fmtDouble(static_cast<double>(baseCycles) /
+                            static_cast<double>(r.cycles), 2) + "x",
+                  std::to_string(r.dramWords),
+                  fmtDouble(static_cast<double>(r.dramWords) /
+                            static_cast<double>(baseWords), 2),
+                  pct(r.breakdown.loopBody), pct(r.breakdown.memStall),
+                  pct(r.breakdown.srfStall), pct(r.breakdown.overhead),
+                  r.correct ? "yes" : "NO"});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("Paper: ISRF speedup 2.24x, traffic halved; Cache "
+                "captures the reorder\nbut keeps the explicit reorder "
+                "operation in the pipeline.\n");
+    return 0;
+}

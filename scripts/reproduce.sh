@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, and regenerate every table/figure.
+#
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "==> running tests"
+ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee test_output.txt | tail -3
+
+echo "==> running paper benches (Tables 2-4, Figures 11-18, ablations)"
+for b in "$BUILD"/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "############ $(basename "$b") ############"
+    "$b"
+done 2>/dev/null | tee bench_output.txt | grep -E "^Reproduces|speedup range"
+
+echo "==> done; see test_output.txt and bench_output.txt"

@@ -1,0 +1,256 @@
+#include "area/cacti_lite.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+double
+AreaBreakdown::total() const
+{
+    double t = 0;
+    for (const auto &c : components)
+        t += c.um2;
+    return t;
+}
+
+void
+AreaBreakdown::add(const std::string &name, double um2)
+{
+    components.push_back({name, um2});
+}
+
+SrfAreaModel::SrfAreaModel(const SrfGeometry &geom,
+                           const ProcessParams &proc)
+    : geom_(geom), proc_(proc)
+{
+}
+
+namespace {
+
+/** Columns per sub-array: one 32-bit word per mux output times m. */
+constexpr uint32_t kBitsPerWord = 32;
+
+} // namespace
+
+void
+SrfAreaModel::addBankCore(AreaBreakdown &b, bool perSubArraySense) const
+{
+    const uint32_t banks = geom_.lanes;
+    const uint32_t s = geom_.subArrays;
+    const uint64_t bitsPerBank =
+        static_cast<uint64_t>(geom_.laneWords) * kBitsPerWord;
+    const uint32_t colsPerSubArray = geom_.seqWidth * kBitsPerWord * 2;
+    const uint32_t rowsPerSubArray = static_cast<uint32_t>(
+        bitsPerBank / s / colsPerSubArray);
+
+    double cells = proc_.f2ToUm2(
+        static_cast<double>(bitsPerBank) * banks * proc_.cellAreaF2);
+    b.add("data cells", cells);
+
+    // Sense amps / write drivers: one set per sub-array column group.
+    double sense = proc_.f2ToUm2(static_cast<double>(colsPerSubArray) *
+        proc_.senseAmpPerColF2 * s * banks);
+    b.add("sense amps + write drivers", sense);
+
+    // Base 2:1 column mux (256-bit row -> 128-bit access, Figure 6).
+    double mux = proc_.f2ToUm2(static_cast<double>(colsPerSubArray) *
+        proc_.muxStagePerColF2 * s * banks);
+    b.add("column mux (2:1, sequential)", mux);
+
+    // Local wordline drivers in every bank.
+    double rowsPerBank = static_cast<double>(rowsPerSubArray) * s;
+    double lwl = proc_.f2ToUm2(rowsPerBank * banks *
+        proc_.rowDecodePerRowF2 / 3.0);
+    b.add("local wordline drivers", lwl);
+
+    // Global bitlines / data routing per bank.
+    double route = proc_.f2ToUm2(
+        static_cast<double>(geom_.seqWidth) * kBitsPerWord *
+        proc_.wirePitchF * 2.0 * 1200.0 * banks);
+    b.add("global bitlines + data routing", route);
+
+    (void)perSubArraySense;
+}
+
+AreaBreakdown
+SrfAreaModel::sequential() const
+{
+    AreaBreakdown b;
+    b.name = "Sequential SRF";
+    addBankCore(b, false);
+
+    const uint32_t s = geom_.subArrays;
+    const uint64_t bitsPerBank =
+        static_cast<uint64_t>(geom_.laneWords) * kBitsPerWord;
+    const uint32_t colsPerSubArray = geom_.seqWidth * kBitsPerWord * 2;
+    double rowsPerBank = static_cast<double>(bitsPerBank) /
+        colsPerSubArray;
+    (void)s;
+
+    // One shared row decoder for all banks (Figure 6).
+    double dec = proc_.f2ToUm2(rowsPerBank * proc_.rowDecodePerRowF2 +
+                               proc_.predecodeF2);
+    b.add("shared row decoder", dec);
+    return b;
+}
+
+AreaBreakdown
+SrfAreaModel::isrf1() const
+{
+    AreaBreakdown b;
+    b.name = "ISRF1";
+    addBankCore(b, false);
+
+    const uint32_t banks = geom_.lanes;
+    const uint64_t bitsPerBank =
+        static_cast<uint64_t>(geom_.laneWords) * kBitsPerWord;
+    const uint32_t colsPerSubArray = geom_.seqWidth * kBitsPerWord * 2;
+    double rowsPerBank = static_cast<double>(bitsPerBank) /
+        colsPerSubArray;
+
+    // Dedicated row decoder + predecode per bank (§4.2).
+    double dec = proc_.f2ToUm2(
+        (rowsPerBank * proc_.rowDecodePerRowF2 + proc_.predecodeF2) *
+        banks);
+    b.add("per-bank row decoders", dec);
+
+    // Per-bank address distribution from the clusters.
+    double abus = proc_.f2ToUm2(16.0 * proc_.wirePitchF * 2.0 * 2600.0 *
+                                banks);
+    b.add("per-bank address busses", abus);
+
+    // Word-granularity output mux (one word from the 128-bit access).
+    double omux = proc_.f2ToUm2(
+        static_cast<double>(geom_.seqWidth) * kBitsPerWord *
+        proc_.muxStagePerColF2 * banks);
+    b.add("word-select output mux", omux);
+    return b;
+}
+
+AreaBreakdown
+SrfAreaModel::isrf4() const
+{
+    AreaBreakdown b;
+    b.name = "ISRF4";
+    addBankCore(b, false);
+
+    const uint32_t banks = geom_.lanes;
+    const uint32_t s = geom_.subArrays;
+    const uint64_t bitsPerBank =
+        static_cast<uint64_t>(geom_.laneWords) * kBitsPerWord;
+    const uint32_t colsPerSubArray = geom_.seqWidth * kBitsPerWord * 2;
+    const double rowsPerSubArray = static_cast<double>(bitsPerBank) / s /
+        colsPerSubArray;
+
+    // Independent predecode + row decode at every sub-array (Figure 7).
+    double dec = proc_.f2ToUm2(
+        (rowsPerSubArray * proc_.rowDecodePerRowF2 + proc_.predecodeF2) *
+        s * banks);
+    b.add("per-sub-array row decoders", dec);
+
+    // Additional 8:1 column mux per sub-array (3 stages minus the base
+    // 2:1 stage already counted in the core).
+    double mux = proc_.f2ToUm2(static_cast<double>(colsPerSubArray) *
+        proc_.muxStagePerColF2 * 2.0 * s * banks);
+    b.add("8:1 column muxes", mux);
+
+    // Address busses now run to every sub-array.
+    double abus = proc_.f2ToUm2(16.0 * proc_.wirePitchF * 2.0 * 2600.0 *
+                                s * banks / 2.0);
+    b.add("per-sub-array address busses", abus);
+
+    return b;
+}
+
+AreaBreakdown
+SrfAreaModel::crossLane() const
+{
+    AreaBreakdown b = isrf4();
+    b.name = "ISRF4 + cross-lane";
+
+    const uint32_t n = geom_.lanes;
+    // Dedicated index (address) network: n x n crossbar of ~16-bit
+    // indices spanning the lane array (§4.5). Indices are narrow and
+    // the crossbar is wiring-dominated, so it is far cheaper than the
+    // 32-bit data network.
+    double idxNet = proc_.f2ToUm2(static_cast<double>(n) * n * 16.0 *
+        proc_.wirePitchF * proc_.wirePitchF * 63.0);
+    b.add("SRF address network", idxNet);
+
+    // Extra data-network ports on the SRF side of each bank.
+    double ports = proc_.f2ToUm2(static_cast<double>(n) *
+        geom_.netPortsPerBank * kBitsPerWord * proc_.wirePitchF * 2.0 *
+        440.0);
+    b.add("SRF data-network ports", ports);
+    return b;
+}
+
+AreaBreakdown
+SrfAreaModel::crossLaneSparse() const
+{
+    AreaBreakdown b = isrf4();
+    b.name = "ISRF4 + cross-lane (ring)";
+
+    const uint32_t n = geom_.lanes;
+    // Ring: 2n unidirectional links instead of n^2 crossbar wiring;
+    // per-hop buffering replaces the central switch.
+    double idxNet = proc_.f2ToUm2(2.0 * n * 16.0 * proc_.wirePitchF *
+        proc_.wirePitchF * 63.0 * 2.2);
+    b.add("SRF address ring", idxNet);
+    double ports = proc_.f2ToUm2(static_cast<double>(n) *
+        geom_.netPortsPerBank * kBitsPerWord * proc_.wirePitchF * 2.0 *
+        440.0 * 0.6);
+    b.add("SRF data-ring ports", ports);
+    return b;
+}
+
+AreaBreakdown
+SrfAreaModel::cache(uint32_t lineWords, uint32_t ways) const
+{
+    AreaBreakdown b;
+    b.name = "Vector cache (equal capacity)";
+    // Data array: same capacity as the SRF, same SRAM design.
+    AreaBreakdown data = sequential();
+    b.add("data array", data.total());
+
+    const uint64_t totalWords = geom_.totalWords();
+    const uint64_t lines = totalWords / lineWords;
+    // ~18 tag bits + valid + dirty + 2 LRU bits per line.
+    const double tagBitsPerLine = 18 + 2 + 2;
+    double tags = proc_.f2ToUm2(static_cast<double>(lines) *
+        tagBitsPerLine * proc_.cellAreaF2 * 1.4);
+    b.add("tag array", tags);
+
+    double cmp = proc_.f2ToUm2(static_cast<double>(lines) / ways * ways *
+        18.0 * 130.0);
+    b.add("comparators + way select", cmp);
+
+    // Crossbars between the lanes and the cache banks in both
+    // directions, plus the DRAM fill path.
+    double xbar = proc_.f2ToUm2(
+        static_cast<double>(geom_.lanes) * 4.0 * kBitsPerWord *
+        proc_.wirePitchF * proc_.wirePitchF * 1265.0);
+    b.add("bank crossbar + fill path", xbar);
+
+    // Non-blocking miss handling: MSHRs, fill/writeback buffers.
+    double mshr = proc_.f2ToUm2(5.3e7);
+    b.add("miss status + fill buffers", mshr);
+    return b;
+}
+
+double
+SrfAreaModel::overheadOver(const AreaBreakdown &variant) const
+{
+    double seq = sequential().total();
+    if (seq <= 0)
+        panic("SrfAreaModel: zero sequential area");
+    return variant.total() / seq - 1.0;
+}
+
+double
+SrfAreaModel::dieFraction(double srfOverhead, double srfDieShare) const
+{
+    return srfOverhead * srfDieShare;
+}
+
+} // namespace isrf

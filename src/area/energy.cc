@@ -1,0 +1,30 @@
+#include "area/energy.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+std::string
+EnergyEstimate::summary() const
+{
+    return strprintf(
+        "total=%.1f nJ (seqSRF=%.1f idxSRF=%.1f cache=%.1f dram=%.1f)",
+        totalNj(), seqSrfNj, idxSrfNj, cacheNj, dramNj);
+}
+
+EnergyEstimate
+EnergyModel::estimate(const EnergyCounts &counts) const
+{
+    EnergyEstimate e;
+    e.seqSrfNj = static_cast<double>(counts.seqSrfWords) *
+        params_.seqSrfPerWordPj * 1e-3;
+    e.idxSrfNj = static_cast<double>(counts.idxSrfWords) *
+        params_.idxSrfPerWordPj * 1e-3;
+    e.cacheNj = static_cast<double>(counts.cacheWords) *
+        params_.cachePerWordPj * 1e-3;
+    e.dramNj = static_cast<double>(counts.dramWords) *
+        params_.dramPerWordPj * 1e-3;
+    return e;
+}
+
+} // namespace isrf

@@ -1,0 +1,21 @@
+#include "core/breakdown.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+std::string
+TimeBreakdown::summary() const
+{
+    uint64_t t = total();
+    if (t == 0)
+        return "(empty breakdown)";
+    return strprintf(
+        "total=%llu lane-cycles: loop=%.1f%% mem=%.1f%% srf=%.1f%% "
+        "ovh=%.1f%%",
+        static_cast<unsigned long long>(t),
+        100.0 * frac(loopBody, t), 100.0 * frac(memStall, t),
+        100.0 * frac(srfStall, t), 100.0 * frac(overhead, t));
+}
+
+} // namespace isrf

@@ -1,0 +1,58 @@
+#include "core/config.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+const char *
+machineKindName(MachineKind kind)
+{
+    switch (kind) {
+      case MachineKind::Base: return "Base";
+      case MachineKind::ISRF1: return "ISRF1";
+      case MachineKind::ISRF4: return "ISRF4";
+      case MachineKind::Cache: return "Cache";
+    }
+    return "?";
+}
+
+MachineConfig
+MachineConfig::make(MachineKind kind)
+{
+    MachineConfig c;
+    c.kind = kind;
+    switch (kind) {
+      case MachineKind::Base:
+        c.srfMode = SrfMode::SequentialOnly;
+        break;
+      case MachineKind::ISRF1:
+        c.srfMode = SrfMode::Indexed1;
+        break;
+      case MachineKind::ISRF4:
+        c.srfMode = SrfMode::Indexed4;
+        break;
+      case MachineKind::Cache:
+        c.srfMode = SrfMode::SequentialOnly;
+        c.mem.cacheEnabled = true;
+        break;
+    }
+    return c;
+}
+
+void
+MachineConfig::validate() const
+{
+    if (srf.lanes == 0 || srf.seqWidth == 0 || srf.subArrays == 0)
+        fatal("MachineConfig: bad SRF geometry");
+    if (srf.laneWords % srf.seqWidth != 0)
+        fatal("MachineConfig: laneWords must be a multiple of seqWidth");
+    if (kind == MachineKind::Cache && !mem.cacheEnabled)
+        fatal("MachineConfig: Cache machine without cache enabled");
+    if (kind != MachineKind::Cache && mem.cacheEnabled)
+        fatal("MachineConfig: cache enabled on non-Cache machine");
+    if ((srfMode == SrfMode::SequentialOnly) !=
+            (kind == MachineKind::Base || kind == MachineKind::Cache))
+        fatal("MachineConfig: SRF mode inconsistent with machine kind");
+}
+
+} // namespace isrf

@@ -1,0 +1,160 @@
+#include "core/machine.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+void
+Machine::init(const MachineConfig &cfg)
+{
+    cfg.validate();
+    cfg_ = cfg;
+    dataNet_.init(cfg.srf.lanes, 1, 1, cfg.srf.netTopology);
+    srf_.init(cfg.srf, cfg.srfMode, &dataNet_);
+    mem_.init(cfg.mem, cfg.dram, cfg.cache, &srf_);
+    clusters_.assign(cfg.srf.lanes, Cluster());
+    for (uint32_t l = 0; l < cfg.srf.lanes; l++)
+        clusters_[l].init(l, &srf_, &dataNet_);
+    alloc_.init(cfg.srf);
+    scheduler_ = ModuloScheduler(cfg.cluster, cfg.seed);
+    rng_.reseed(cfg.seed * 7919 + 13);
+    engine_.add(this);
+    breakdown_.reset();
+    kernelBw_.clear();
+}
+
+KernelSchedule
+Machine::scheduleKernel(const KernelGraph &graph)
+{
+    bool crossLane = false;
+    for (const auto &slot : graph.streamSlots())
+        if (slot.kind == StreamKind::IdxCross)
+            crossLane = true;
+    uint32_t sep = crossLane ? cfg_.crossLaneSeparation
+                             : cfg_.inLaneSeparation;
+    return scheduler_.schedule(graph, sep);
+}
+
+void
+Machine::launchKernel(std::shared_ptr<KernelInvocation> inv)
+{
+    if (active_)
+        panic("Machine: kernel %s launched while %s active",
+              inv->graph->name().c_str(), active_->graph->name().c_str());
+    if (inv->laneTraces.size() != clusters_.size())
+        panic("Machine: invocation has %zu lane traces for %zu lanes",
+              inv->laneTraces.size(), clusters_.size());
+    active_ = std::move(inv);
+    active_->startOverhead = cfg_.kernelStartOverhead;
+    flushing_ = false;
+    kernelStart_ = engine_.now();
+
+    activeOutputs_.clear();
+    activeIdxWriteSlots_.clear();
+    const auto &slots = active_->graph->streamSlots();
+    for (size_t s = 0; s < slots.size(); s++) {
+        SlotId id = active_->slots[s];
+        bool rw = slots[s].kind == StreamKind::IdxInLaneRw;
+        StreamDir dir = slots[s].isOutput && !rw ? StreamDir::Out
+                                                 : StreamDir::In;
+        bool indexed = slots[s].kind == StreamKind::IdxInLane ||
+            slots[s].kind == StreamKind::IdxCross || rw;
+        bool cross = slots[s].kind == StreamKind::IdxCross;
+        srf_.configureSlotBinding(id, dir, indexed, cross, rw);
+        if (slots[s].isOutput) {
+            if (slots[s].kind == StreamKind::SeqOut)
+                activeOutputs_.push_back(id);
+            else
+                activeIdxWriteSlots_.push_back(id);
+        }
+    }
+    for (auto &c : clusters_)
+        c.bind(active_.get(), engine_.now());
+
+    bwSeq0_ = srf_.seqWordsAccessed();
+    bwIn0_ = srf_.idxInLaneWords();
+    bwCross0_ = srf_.idxCrossWords();
+}
+
+void
+Machine::finishKernelIfDone(Cycle now)
+{
+    if (!active_)
+        return;
+    if (!flushing_) {
+        for (auto &c : clusters_)
+            if (!c.done(now))
+                return;
+        for (SlotId id : activeOutputs_)
+            srf_.flushSlot(id);
+        flushing_ = true;
+    }
+    for (SlotId id : activeOutputs_)
+        if (!srf_.flushComplete(id))
+            return;
+    for (SlotId id : activeIdxWriteSlots_)
+        if (!srf_.idxWritesDrained(id))
+            return;
+
+    // Record Figure 13 bandwidth numbers for this kernel.
+    KernelBwRecord &rec = kernelBw_[active_->graph->name()];
+    uint64_t dur = now >= kernelStart_ ? now - kernelStart_ + 1 : 1;
+    rec.laneCycles += dur * lanes();
+    rec.seqWords += srf_.seqWordsAccessed() - bwSeq0_;
+    rec.inLaneWords += srf_.idxInLaneWords() - bwIn0_;
+    rec.crossWords += srf_.idxCrossWords() - bwCross0_;
+    rec.invocations++;
+
+    for (auto &c : clusters_)
+        c.unbind();
+    active_.reset();
+    flushing_ = false;
+}
+
+void
+Machine::tick(Cycle now)
+{
+    dataNet_.newCycle();
+    srf_.beginCycle(now);
+
+    // Statically scheduled inter-cluster traffic occupancy (Figure 18).
+    if (cfg_.commOccupancy > 0) {
+        for (uint32_t l = 0; l < lanes(); l++)
+            if (rng_.chance(cfg_.commOccupancy))
+                dataNet_.claimSource(l);
+    }
+
+    mem_.tick(now);
+    for (auto &c : clusters_)
+        c.tick(now);
+    srf_.endCycle(now);
+
+    // Figure 12 accounting.
+    if (active_) {
+        for (auto &c : clusters_) {
+            switch (c.lastCat()) {
+              case CycleCat::Loop: breakdown_.loopBody++; break;
+              case CycleCat::SrfStall: breakdown_.srfStall++; break;
+              case CycleCat::Overhead:
+              case CycleCat::Idle: breakdown_.overhead++; break;
+            }
+        }
+    } else if (mem_.inFlight() > 0) {
+        breakdown_.memStall += lanes();
+    } else {
+        breakdown_.overhead += lanes();
+    }
+
+    finishKernelIfDone(now);
+}
+
+void
+Machine::resetStats()
+{
+    breakdown_.reset();
+    kernelBw_.clear();
+    mem_.dram().resetStats();
+    mem_.cache().resetStats();
+}
+
+} // namespace isrf

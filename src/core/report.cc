@@ -1,0 +1,100 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "util/log.h"
+#include "util/table.h"
+
+namespace isrf {
+
+EnergyCounts
+energyCounts(Machine &m)
+{
+    EnergyCounts c;
+    c.seqSrfWords = m.srf().seqWordsAccessed();
+    c.idxSrfWords = m.srf().idxInLaneWords() + m.srf().idxCrossWords();
+    c.cacheWords = m.mem().cache().hits();
+    c.dramWords = m.mem().dram().wordsTransferred();
+    return c;
+}
+
+std::string
+machineReport(Machine &m, const ReportOptions &opts)
+{
+    std::ostringstream out;
+    const MachineConfig &cfg = m.config();
+
+    if (opts.includeConfig) {
+        out << "=== Machine: " << cfg.name() << " ===\n";
+        out << strprintf(
+            "lanes=%u srf=%uKB m=%u subArrays=%u mode=%s topology=%s\n",
+            cfg.srf.lanes, cfg.srf.totalBytes() / 1024, cfg.srf.seqWidth,
+            cfg.srf.subArrays,
+            cfg.srfMode == SrfMode::SequentialOnly ? "sequential"
+                : cfg.srfMode == SrfMode::Indexed1 ? "ISRF1" : "ISRF4",
+            cfg.srf.netTopology == NetTopology::Crossbar ? "crossbar"
+                                                         : "ring");
+    }
+
+    if (opts.includeBreakdown) {
+        const TimeBreakdown &b = m.breakdown();
+        out << "cycles=" << m.now() << "  " << b.summary() << "\n";
+    }
+
+    if (opts.includeSrf) {
+        out << strprintf(
+            "srf: seqWords=%llu inLaneIdxWords=%llu crossIdxWords=%llu "
+            "subArrayConflicts=%llu\n",
+            static_cast<unsigned long long>(m.srf().seqWordsAccessed()),
+            static_cast<unsigned long long>(m.srf().idxInLaneWords()),
+            static_cast<unsigned long long>(m.srf().idxCrossWords()),
+            static_cast<unsigned long long>(m.srf().subArrayConflicts()));
+        for (const auto &row : m.srf().stats().formatRows())
+            out << "  " << row << "\n";
+    }
+
+    if (opts.includeMemory) {
+        const Dram &d = m.mem().dram();
+        out << strprintf(
+            "dram: words=%llu (seq=%llu random=%llu)\n",
+            static_cast<unsigned long long>(d.wordsTransferred()),
+            static_cast<unsigned long long>(d.seqWords()),
+            static_cast<unsigned long long>(d.randomWords()));
+        if (m.mem().cacheEnabled()) {
+            const Cache &c = m.mem().cache();
+            uint64_t acc = c.hits() + c.misses();
+            out << strprintf(
+                "cache: hits=%llu misses=%llu (%.1f%% hit rate) "
+                "writebacks=%llu\n",
+                static_cast<unsigned long long>(c.hits()),
+                static_cast<unsigned long long>(c.misses()),
+                acc ? 100.0 * static_cast<double>(c.hits()) /
+                          static_cast<double>(acc)
+                    : 0.0,
+                static_cast<unsigned long long>(c.writebacks()));
+        }
+    }
+
+    if (opts.includeKernels && !m.kernelBw().empty()) {
+        Table t({"Kernel", "Invocations", "Lane-cycles", "Seq w/c",
+                 "In-lane w/c", "Cross w/c"});
+        for (const auto &kv : m.kernelBw()) {
+            const KernelBwRecord &r = kv.second;
+            t.addRow({kv.first, std::to_string(r.invocations),
+                      std::to_string(r.laneCycles),
+                      fmtDouble(r.seqPerLaneCycle(), 3),
+                      fmtDouble(r.inLanePerLaneCycle(), 3),
+                      fmtDouble(r.crossPerLaneCycle(), 3)});
+        }
+        out << t.render();
+    }
+
+    if (opts.includeEnergy) {
+        EnergyModel energy;
+        EnergyEstimate e = energy.estimate(energyCounts(m));
+        out << "energy: " << e.summary() << "\n";
+    }
+    return out.str();
+}
+
+} // namespace isrf

@@ -1,0 +1,278 @@
+#include "core/stream_program.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace isrf {
+
+StreamProgram::StreamProgram(Machine &m) : machine_(m)
+{
+    uint32_t n = m.config().srf.maxStreamSlots;
+    lastWriter_.assign(n, -1);
+    readersSinceWrite_.assign(n, {});
+}
+
+StreamProgram::~StreamProgram()
+{
+    for (SlotId id : openedSlots_)
+        machine_.srf().closeSlot(id);
+}
+
+SlotId
+StreamProgram::addStream(const std::string &name, uint64_t totalWords,
+                         StreamLayout layout, StreamDir dir, bool indexed,
+                         bool crossLane, uint32_t recordWords,
+                         std::vector<uint32_t> perLaneLen)
+{
+    uint32_t base = machine_.allocator().alloc(totalWords, layout);
+    if (base == SrfAllocator::kAllocFail)
+        fatal("StreamProgram: SRF allocation failed for stream '%s' "
+              "(%llu words, %llu free per lane)", name.c_str(),
+              static_cast<unsigned long long>(totalWords),
+              static_cast<unsigned long long>(
+                  machine_.allocator().freeWords()));
+    SlotConfig cfg;
+    cfg.dir = dir;
+    // Binding properties are retargeted per kernel launch; what is
+    // declared here only matters for direct Srf-level use.
+    cfg.indexed = indexed && machine_.config().srfMode !=
+        SrfMode::SequentialOnly;
+    cfg.crossLane = crossLane && cfg.indexed;
+    cfg.layout = layout;
+    cfg.base = base;
+    cfg.lengthWords = static_cast<uint32_t>(totalWords);
+    cfg.perLaneLen = std::move(perLaneLen);
+    cfg.recordWords = recordWords;
+    SlotId id = machine_.srf().openSlot(cfg);
+    openedSlots_.push_back(id);
+    return id;
+}
+
+SlotId
+StreamProgram::addStreamAlias(const std::string &name, SlotId orig)
+{
+    (void)name;
+    SlotConfig cfg = machine_.srf().slotConfig(orig);
+    SlotId id = machine_.srf().openSlot(cfg);
+    openedSlots_.push_back(id);
+    return id;
+}
+
+void
+StreamProgram::fillStream(SlotId slot, const std::vector<Word> &data)
+{
+    machine_.srf().fillSlot(slot, data);
+}
+
+std::vector<Word>
+StreamProgram::dumpStream(SlotId slot) const
+{
+    return machine_.srf().dumpSlot(slot);
+}
+
+ProgOpId
+StreamProgram::addMemOp(MemOp op, std::vector<SlotId> reads,
+                        std::vector<SlotId> writes)
+{
+    Op o;
+    o.kind = Op::Kind::Mem;
+    o.mem = std::move(op);
+    o.readsSlots = std::move(reads);
+    o.writesSlots = std::move(writes);
+    inferDeps(o);
+    ops_.push_back(std::move(o));
+    return static_cast<ProgOpId>(ops_.size() - 1);
+}
+
+ProgOpId
+StreamProgram::load(SlotId dst, uint64_t memBase, bool cached,
+                    uint64_t lengthWords)
+{
+    MemOp op;
+    op.kind = MemOpKind::Load;
+    op.memBase = memBase;
+    op.srfSlot = dst;
+    op.lengthWords = lengthWords;
+    op.cached = cached;
+    return addMemOp(std::move(op), {}, {dst});
+}
+
+ProgOpId
+StreamProgram::store(SlotId src, uint64_t memBase, bool cached,
+                     uint64_t lengthWords)
+{
+    MemOp op;
+    op.kind = MemOpKind::Store;
+    op.memBase = memBase;
+    op.srfSlot = src;
+    op.lengthWords = lengthWords;
+    op.cached = cached;
+    return addMemOp(std::move(op), {src}, {});
+}
+
+ProgOpId
+StreamProgram::gather(SlotId dst, uint64_t memBase,
+                      std::vector<uint32_t> indices, uint32_t recordWords,
+                      bool cached, uint64_t dstOffsetWords)
+{
+    MemOp op;
+    op.kind = MemOpKind::Gather;
+    op.memBase = memBase;
+    op.srfSlot = dst;
+    op.indices = std::move(indices);
+    op.recordWords = recordWords;
+    op.cached = cached;
+    op.dstOffsetWords = dstOffsetWords;
+    return addMemOp(std::move(op), {}, {dst});
+}
+
+ProgOpId
+StreamProgram::scatter(SlotId src, uint64_t memBase,
+                       std::vector<uint32_t> indices, uint32_t recordWords,
+                       bool cached)
+{
+    MemOp op;
+    op.kind = MemOpKind::Scatter;
+    op.memBase = memBase;
+    op.srfSlot = src;
+    op.indices = std::move(indices);
+    op.recordWords = recordWords;
+    op.cached = cached;
+    return addMemOp(std::move(op), {src}, {});
+}
+
+ProgOpId
+StreamProgram::kernel(std::shared_ptr<KernelInvocation> inv)
+{
+    if (!inv || !inv->graph)
+        panic("StreamProgram::kernel: empty invocation");
+    Op o;
+    o.kind = Op::Kind::Kernel;
+    o.inv = std::move(inv);
+    const auto &slots = o.inv->graph->streamSlots();
+    for (size_t s = 0; s < slots.size(); s++) {
+        if (slots[s].isOutput)
+            o.writesSlots.push_back(o.inv->slots[s]);
+        else
+            o.readsSlots.push_back(o.inv->slots[s]);
+    }
+    inferDeps(o);
+    ops_.push_back(std::move(o));
+    return static_cast<ProgOpId>(ops_.size() - 1);
+}
+
+void
+StreamProgram::dependsOn(ProgOpId after, ProgOpId before)
+{
+    if (after < 0 || before < 0 ||
+            static_cast<size_t>(after) >= ops_.size() ||
+            static_cast<size_t>(before) >= ops_.size())
+        panic("StreamProgram::dependsOn: bad op ids %d, %d", after, before);
+    ops_[after].deps.push_back(before);
+}
+
+void
+StreamProgram::inferDeps(Op &op)
+{
+    auto id = static_cast<ProgOpId>(ops_.size());
+    auto addDep = [&](ProgOpId d) {
+        if (d >= 0 && std::find(op.deps.begin(), op.deps.end(), d) ==
+                op.deps.end()) {
+            op.deps.push_back(d);
+        }
+    };
+    for (SlotId r : op.readsSlots)
+        addDep(lastWriter_[r]);  // RAW
+    for (SlotId w : op.writesSlots) {
+        addDep(lastWriter_[w]);  // WAW
+        for (ProgOpId r : readersSinceWrite_[w])
+            addDep(r);           // WAR
+    }
+    for (SlotId w : op.writesSlots) {
+        lastWriter_[w] = id;
+        readersSinceWrite_[w].clear();
+    }
+    for (SlotId r : op.readsSlots)
+        readersSinceWrite_[r].push_back(id);
+}
+
+bool
+StreamProgram::depsDone(const Op &op) const
+{
+    for (ProgOpId d : op.deps)
+        if (!ops_[d].completed)
+            return false;
+    return true;
+}
+
+void
+StreamProgram::tryIssue()
+{
+    for (size_t i = scanFrom_; i < ops_.size(); i++) {
+        Op &op = ops_[i];
+        if (op.issued || !depsDone(op))
+            continue;
+        if (op.kind == Op::Kind::Mem) {
+            op.memId = machine_.mem().submit(op.mem);
+            op.issued = true;
+        } else {
+            if (machine_.kernelActive() || activeKernelOp_ >= 0)
+                continue;
+            machine_.launchKernel(op.inv);
+            activeKernelOp_ = static_cast<ProgOpId>(i);
+            op.issued = true;
+        }
+    }
+}
+
+void
+StreamProgram::updateCompletion()
+{
+    for (size_t i = scanFrom_; i < ops_.size(); i++) {
+        Op &op = ops_[i];
+        if (!op.issued || op.completed)
+            continue;
+        if (op.kind == Op::Kind::Mem) {
+            op.completed = machine_.mem().done(op.memId);
+        } else if (static_cast<ProgOpId>(i) == activeKernelOp_ &&
+                   !machine_.kernelActive()) {
+            op.completed = true;
+            activeKernelOp_ = -1;
+        }
+    }
+    // Deps only ever point backwards, so a contiguous completed prefix
+    // never needs rescanning. Issue order is preserved for the ops the
+    // window still covers.
+    while (scanFrom_ < ops_.size() && ops_[scanFrom_].completed)
+        scanFrom_++;
+}
+
+bool
+StreamProgram::allDone() const
+{
+    for (size_t i = scanFrom_; i < ops_.size(); i++)
+        if (!ops_[i].completed)
+            return false;
+    return true;
+}
+
+uint64_t
+StreamProgram::run(uint64_t maxCycles)
+{
+    uint64_t cycles = 0;
+    while (true) {
+        updateCompletion();
+        if (allDone() && machine_.mem().idle() && !machine_.kernelActive())
+            break;
+        tryIssue();
+        machine_.step();
+        cycles++;
+        if (cycles > maxCycles)
+            panic("StreamProgram::run: exceeded %llu cycles (deadlock?)",
+                  static_cast<unsigned long long>(maxCycles));
+    }
+    return cycles;
+}
+
+} // namespace isrf

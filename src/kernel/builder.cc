@@ -1,0 +1,262 @@
+#include "kernel/builder.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+KernelBuilder::KernelBuilder(std::string name) : graph_(std::move(name))
+{
+}
+
+StreamRef
+KernelBuilder::seqIn(const std::string &name)
+{
+    return {graph_.addStreamSlot({name, StreamKind::SeqIn, false})};
+}
+
+StreamRef
+KernelBuilder::seqOut(const std::string &name)
+{
+    return {graph_.addStreamSlot({name, StreamKind::SeqOut, true})};
+}
+
+StreamRef
+KernelBuilder::idxlIn(const std::string &name)
+{
+    return {graph_.addStreamSlot({name, StreamKind::IdxInLane, false})};
+}
+
+StreamRef
+KernelBuilder::idxlOut(const std::string &name)
+{
+    return {graph_.addStreamSlot({name, StreamKind::IdxInLane, true})};
+}
+
+StreamRef
+KernelBuilder::idxIn(const std::string &name)
+{
+    return {graph_.addStreamSlot({name, StreamKind::IdxCross, false})};
+}
+
+StreamRef
+KernelBuilder::idxlRw(const std::string &name)
+{
+    // Read-write streams are "outputs" for flush/drain purposes but
+    // also readable; the machine binds them accordingly.
+    return {graph_.addStreamSlot({name, StreamKind::IdxInLaneRw, true})};
+}
+
+Value
+KernelBuilder::constInt(int32_t v)
+{
+    Node n;
+    n.op = Opcode::ConstInt;
+    n.imm = static_cast<Word>(v);
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::constFloat(float v)
+{
+    Node n;
+    n.op = Opcode::ConstFloat;
+    n.imm = floatToWord(v);
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::laneId()
+{
+    Node n;
+    n.op = Opcode::LaneId;
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::iterIdx()
+{
+    Node n;
+    n.op = Opcode::IterIdx;
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::binary(Opcode op, Value a, Value b)
+{
+    if (!a.valid() || !b.valid())
+        panic("KernelBuilder(%s): invalid operand to %s",
+              graph_.name().c_str(), opName(op));
+    Node n;
+    n.op = op;
+    n.operands[0] = a.id;
+    n.operands[1] = b.id;
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::unary(Opcode op, Value a)
+{
+    if (!a.valid())
+        panic("KernelBuilder(%s): invalid operand to %s",
+              graph_.name().c_str(), opName(op));
+    Node n;
+    n.op = op;
+    n.operands[0] = a.id;
+    return {graph_.addNode(n)};
+}
+
+Value KernelBuilder::iadd(Value a, Value b) { return binary(Opcode::IAdd, a, b); }
+Value KernelBuilder::isub(Value a, Value b) { return binary(Opcode::ISub, a, b); }
+Value KernelBuilder::imul(Value a, Value b) { return binary(Opcode::IMul, a, b); }
+Value KernelBuilder::iand(Value a, Value b) { return binary(Opcode::IAnd, a, b); }
+Value KernelBuilder::ior(Value a, Value b) { return binary(Opcode::IOr, a, b); }
+Value KernelBuilder::ixor(Value a, Value b) { return binary(Opcode::IXor, a, b); }
+Value KernelBuilder::ishl(Value a, Value b) { return binary(Opcode::IShl, a, b); }
+Value KernelBuilder::ishr(Value a, Value b) { return binary(Opcode::IShr, a, b); }
+Value KernelBuilder::imin(Value a, Value b) { return binary(Opcode::IMin, a, b); }
+Value KernelBuilder::imax(Value a, Value b) { return binary(Opcode::IMax, a, b); }
+Value KernelBuilder::fadd(Value a, Value b) { return binary(Opcode::FAdd, a, b); }
+Value KernelBuilder::fsub(Value a, Value b) { return binary(Opcode::FSub, a, b); }
+Value KernelBuilder::fmul(Value a, Value b) { return binary(Opcode::FMul, a, b); }
+Value KernelBuilder::fneg(Value a) { return unary(Opcode::FNeg, a); }
+Value KernelBuilder::fdiv(Value a, Value b) { return binary(Opcode::FDiv, a, b); }
+Value KernelBuilder::cmpLt(Value a, Value b) { return binary(Opcode::CmpLt, a, b); }
+Value KernelBuilder::cmpLe(Value a, Value b) { return binary(Opcode::CmpLe, a, b); }
+Value KernelBuilder::cmpEq(Value a, Value b) { return binary(Opcode::CmpEq, a, b); }
+
+Value
+KernelBuilder::select(Value cond, Value t, Value f)
+{
+    if (!cond.valid() || !t.valid() || !f.valid())
+        panic("KernelBuilder(%s): invalid operand to select",
+              graph_.name().c_str());
+    Node n;
+    n.op = Opcode::Select;
+    n.operands[0] = cond.id;
+    n.operands[1] = t.id;
+    n.operands[2] = f.id;
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::read(StreamRef s)
+{
+    Node n;
+    n.op = Opcode::SeqRead;
+    n.streamSlot = s.slot;
+    return {graph_.addNode(n)};
+}
+
+void
+KernelBuilder::write(StreamRef s, Value v)
+{
+    Node n;
+    n.op = Opcode::SeqWrite;
+    n.operands[0] = v.id;
+    n.streamSlot = s.slot;
+    graph_.addNode(n);
+}
+
+Value
+KernelBuilder::readIdx(StreamRef s, Value index)
+{
+    Node addr;
+    addr.op = Opcode::IdxAddr;
+    addr.operands[0] = index.id;
+    addr.streamSlot = s.slot;
+    NodeId addrId = graph_.addNode(addr);
+
+    Node data;
+    data.op = Opcode::IdxRead;
+    data.streamSlot = s.slot;
+    data.pairedAddr = addrId;
+    return {graph_.addNode(data)};
+}
+
+void
+KernelBuilder::writeIdx(StreamRef s, Value index, Value v)
+{
+    Node n;
+    n.op = Opcode::IdxWrite;
+    n.operands[0] = index.id;
+    n.operands[1] = v.id;
+    n.streamSlot = s.slot;
+    graph_.addNode(n);
+}
+
+Value
+KernelBuilder::commSend(Value v, Value dest)
+{
+    Node n;
+    n.op = Opcode::CommSend;
+    n.operands[0] = v.id;
+    n.operands[1] = dest.id;
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::commRecv()
+{
+    Node n;
+    n.op = Opcode::CommRecv;
+    return {graph_.addNode(n)};
+}
+
+Value
+KernelBuilder::spRead(Value addr)
+{
+    Node n;
+    n.op = Opcode::SpRead;
+    n.operands[0] = addr.id;
+    return {graph_.addNode(n)};
+}
+
+void
+KernelBuilder::spWrite(Value addr, Value v)
+{
+    Node n;
+    n.op = Opcode::SpWrite;
+    n.operands[0] = addr.id;
+    n.operands[1] = v.id;
+    graph_.addNode(n);
+}
+
+Value
+KernelBuilder::carryIn()
+{
+    // A zero-latency pseudo node standing for "the value produced by the
+    // previous iteration". carryOut() closes the recurrence.
+    Node n;
+    n.op = Opcode::ConstInt;
+    n.imm = 0;
+    return {graph_.addNode(n)};
+}
+
+void
+KernelBuilder::carryOut(Value placeholder, Value producer, uint32_t distance)
+{
+    if (!placeholder.valid() || !producer.valid())
+        panic("KernelBuilder(%s): invalid carryOut", graph_.name().c_str());
+    uint32_t lat = opInfo(graph_.node(producer.id).op).latency;
+    graph_.addEdge(producer.id, placeholder.id, lat, distance);
+}
+
+void
+KernelBuilder::orderEdge(Value from, Value to, uint32_t latency,
+                         uint32_t distance)
+{
+    graph_.addEdge(from.id, to.id, latency, distance);
+}
+
+KernelGraph
+KernelBuilder::build()
+{
+    if (built_)
+        panic("KernelBuilder(%s): build() called twice",
+              graph_.name().c_str());
+    built_ = true;
+    graph_.validate();
+    return std::move(graph_);
+}
+
+} // namespace isrf

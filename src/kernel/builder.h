@@ -1,0 +1,140 @@
+/**
+ * @file
+ * KernelBuilder: an embedded-DSL analogue of the KernelC language of
+ * §4.7 / Figure 10. Workloads build kernel inner-loop dataflow graphs
+ * through this interface:
+ *
+ * @code
+ *   KernelBuilder b("lookup");
+ *   auto in = b.seqIn("in");       // istream<int> in
+ *   auto lut = b.idxlIn("LUT");    // idxl_istream<int> LUT
+ *   auto out = b.seqOut("out");    // ostream<int> out
+ *   auto a = b.read(in);           // in >> a
+ *   auto v = b.readIdx(lut, a);    // LUT[a] >> b
+ *   b.write(out, b.iadd(a, v));    // out << c
+ * @endcode
+ */
+#ifndef ISRF_KERNEL_BUILDER_H
+#define ISRF_KERNEL_BUILDER_H
+
+#include <string>
+
+#include "kernel/graph.h"
+
+namespace isrf {
+
+/** Opaque SSA value handle produced by KernelBuilder. */
+struct Value
+{
+    NodeId id = kInvalidNode;
+    bool valid() const { return id != kInvalidNode; }
+};
+
+/** Handle to a declared kernel stream. */
+struct StreamRef
+{
+    int slot = -1;
+};
+
+/**
+ * Builds a KernelGraph with KernelC-like operations.
+ *
+ * The builder constructs one loop body; loop-carried dependencies are
+ * declared with carry()/carryUse() pairs, mirroring variables that live
+ * across iterations of a KernelC while-loop.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // --- stream declarations (Table 1 stream types) ---
+    StreamRef seqIn(const std::string &name);    ///< istream<T>
+    StreamRef seqOut(const std::string &name);   ///< ostream<T>
+    StreamRef idxlIn(const std::string &name);   ///< idxl_istream<T>
+    StreamRef idxlOut(const std::string &name);  ///< idxl_ostream<T>
+    StreamRef idxIn(const std::string &name);    ///< idx_istream<T> (cross)
+    /** Read-write in-lane indexed stream (§7 future-work extension). */
+    StreamRef idxlRw(const std::string &name);
+
+    // --- constants and pseudo values ---
+    Value constInt(int32_t v);
+    Value constFloat(float v);
+    Value laneId();
+    Value iterIdx();
+
+    // --- arithmetic (thin wrappers over Opcode) ---
+    Value iadd(Value a, Value b);
+    Value isub(Value a, Value b);
+    Value imul(Value a, Value b);
+    Value iand(Value a, Value b);
+    Value ior(Value a, Value b);
+    Value ixor(Value a, Value b);
+    Value ishl(Value a, Value b);
+    Value ishr(Value a, Value b);
+    Value imin(Value a, Value b);
+    Value imax(Value a, Value b);
+    Value fadd(Value a, Value b);
+    Value fsub(Value a, Value b);
+    Value fmul(Value a, Value b);
+    Value fneg(Value a);
+    Value fdiv(Value a, Value b);
+    Value cmpLt(Value a, Value b);
+    Value cmpLe(Value a, Value b);
+    Value cmpEq(Value a, Value b);
+    Value select(Value cond, Value t, Value f);
+
+    // --- stream accesses ---
+    /** in >> x : read next word from a sequential input stream. */
+    Value read(StreamRef s);
+    /** out << x : append a word to a sequential output stream. */
+    void write(StreamRef s, Value v);
+    /** strm[idx] >> x : indexed read (in-lane or cross-lane stream). */
+    Value readIdx(StreamRef s, Value index);
+    /** strm[idx] << x : in-lane indexed write. */
+    void writeIdx(StreamRef s, Value index, Value v);
+
+    // --- inter-cluster communication (conditional streams etc.) ---
+    /**
+     * Send a word into the inter-cluster network (dest computed).
+     * @return the send node, so callers can chain an orderEdge() to the
+     *         matching commRecv() and put the network round trip on a
+     *         recurrence.
+     */
+    Value commSend(Value v, Value dest);
+    /** Receive a word from the inter-cluster network. */
+    Value commRecv();
+
+    // --- scratchpad ---
+    Value spRead(Value addr);
+    void spWrite(Value addr, Value v);
+
+    // --- loop-carried state ---
+    /**
+     * Declare a value carried into the next iteration. The placeholder
+     * returned by carryIn() reads last iteration's value; carryOut()
+     * binds the producer, adding a distance-1 recurrence edge.
+     */
+    Value carryIn();
+    void carryOut(Value placeholder, Value producer, uint32_t distance = 1);
+
+    /** Add an explicit ordering edge (rarely needed by workloads). */
+    void orderEdge(Value from, Value to, uint32_t latency,
+                   uint32_t distance);
+
+    /** Finalize: validate and move the graph out. */
+    KernelGraph build();
+
+    const KernelGraph &graph() const { return graph_; }
+
+  private:
+    Value binary(Opcode op, Value a, Value b);
+    Value unary(Opcode op, Value a);
+
+    KernelGraph graph_;
+    bool built_ = false;
+};
+
+} // namespace isrf
+
+#endif // ISRF_KERNEL_BUILDER_H

@@ -1,0 +1,159 @@
+#include "kernel/op.h"
+
+#include <bit>
+
+#include "util/log.h"
+
+namespace isrf {
+
+namespace {
+
+// Latencies follow the Imagine cluster pipeline: simple integer ops in 1
+// cycle; fp add/mul fully pipelined at 4 cycles; the divider is
+// unpipelined with a long latency. SeqRead/SeqWrite model the stream
+// buffer port (1 cycle); indexed data reads and comm receives get their
+// real latency from scheduling edges (separation), so the node latency
+// only covers the local port.
+constexpr OpInfo kOpInfo[] = {
+    {"const_i", FuClass::None, 0, true, 0},
+    {"const_f", FuClass::None, 0, true, 0},
+    {"lane_id", FuClass::None, 0, true, 0},
+    {"iter_idx", FuClass::None, 0, true, 0},
+    {"mov", FuClass::Alu, 1, true, 1},
+
+    {"iadd", FuClass::Alu, 1, true, 2},
+    {"isub", FuClass::Alu, 1, true, 2},
+    {"imul", FuClass::Alu, 4, true, 2},
+    {"iand", FuClass::Alu, 1, true, 2},
+    {"ior", FuClass::Alu, 1, true, 2},
+    {"ixor", FuClass::Alu, 1, true, 2},
+    {"ishl", FuClass::Alu, 1, true, 2},
+    {"ishr", FuClass::Alu, 1, true, 2},
+    {"imin", FuClass::Alu, 1, true, 2},
+    {"imax", FuClass::Alu, 1, true, 2},
+
+    {"fadd", FuClass::Alu, 4, true, 2},
+    {"fsub", FuClass::Alu, 4, true, 2},
+    {"fmul", FuClass::Alu, 4, true, 2},
+    {"fneg", FuClass::Alu, 1, true, 1},
+    {"fmin", FuClass::Alu, 2, true, 2},
+    {"fmax", FuClass::Alu, 2, true, 2},
+
+    {"fdiv", FuClass::Div, 17, false, 2},
+    {"idiv", FuClass::Div, 17, false, 2},
+    {"imod", FuClass::Div, 17, false, 2},
+
+    {"cmp_lt", FuClass::Alu, 1, true, 2},
+    {"cmp_le", FuClass::Alu, 1, true, 2},
+    {"cmp_eq", FuClass::Alu, 1, true, 2},
+    {"cmp_ne", FuClass::Alu, 1, true, 2},
+    {"select", FuClass::Alu, 1, true, 3},
+
+    {"seq_read", FuClass::Sbuf, 1, true, 0},
+    {"seq_write", FuClass::Sbuf, 1, true, 1},
+
+    {"idx_addr", FuClass::Sbuf, 1, true, 1},
+    {"idx_read", FuClass::Sbuf, 1, true, 0},
+    {"idx_write", FuClass::Sbuf, 1, true, 2},
+
+    {"comm_send", FuClass::Comm, 1, true, 2},
+    {"comm_recv", FuClass::Comm, 2, true, 0},
+
+    {"sp_read", FuClass::Sp, 2, true, 1},
+    {"sp_write", FuClass::Sp, 1, true, 2},
+};
+
+static_assert(sizeof(kOpInfo) / sizeof(kOpInfo[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "kOpInfo out of sync with Opcode");
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    if (idx >= static_cast<size_t>(Opcode::NumOpcodes))
+        panic("opInfo: bad opcode %zu", idx);
+    return kOpInfo[idx];
+}
+
+bool
+opTouchesStream(Opcode op)
+{
+    switch (op) {
+      case Opcode::SeqRead:
+      case Opcode::SeqWrite:
+      case Opcode::IdxAddr:
+      case Opcode::IdxRead:
+      case Opcode::IdxWrite:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+opIsIndexed(Opcode op)
+{
+    return op == Opcode::IdxAddr || op == Opcode::IdxRead ||
+        op == Opcode::IdxWrite;
+}
+
+Word
+floatToWord(float f)
+{
+    return std::bit_cast<Word>(f);
+}
+
+float
+wordToFloat(Word w)
+{
+    return std::bit_cast<float>(w);
+}
+
+Word
+evalOp(Opcode op, Word a, Word b, Word c)
+{
+    auto fa = wordToFloat(a);
+    auto fb = wordToFloat(b);
+    auto sa = static_cast<int32_t>(a);
+    auto sb = static_cast<int32_t>(b);
+    switch (op) {
+      case Opcode::Mov: return a;
+      case Opcode::IAdd: return a + b;
+      case Opcode::ISub: return a - b;
+      case Opcode::IMul: return a * b;
+      case Opcode::IAnd: return a & b;
+      case Opcode::IOr: return a | b;
+      case Opcode::IXor: return a ^ b;
+      case Opcode::IShl: return a << (b & 31);
+      case Opcode::IShr: return a >> (b & 31);
+      case Opcode::IMin: return static_cast<Word>(sa < sb ? sa : sb);
+      case Opcode::IMax: return static_cast<Word>(sa > sb ? sa : sb);
+      case Opcode::FAdd: return floatToWord(fa + fb);
+      case Opcode::FSub: return floatToWord(fa - fb);
+      case Opcode::FMul: return floatToWord(fa * fb);
+      case Opcode::FNeg: return floatToWord(-fa);
+      case Opcode::FMin: return floatToWord(fa < fb ? fa : fb);
+      case Opcode::FMax: return floatToWord(fa > fb ? fa : fb);
+      case Opcode::FDiv: return floatToWord(fa / fb);
+      case Opcode::IDiv:
+        if (sb == 0)
+            panic("evalOp: integer divide by zero");
+        return static_cast<Word>(sa / sb);
+      case Opcode::IMod:
+        if (sb == 0)
+            panic("evalOp: integer modulo by zero");
+        return static_cast<Word>(sa % sb);
+      case Opcode::CmpLt: return sa < sb ? 1u : 0u;
+      case Opcode::CmpLe: return sa <= sb ? 1u : 0u;
+      case Opcode::CmpEq: return a == b ? 1u : 0u;
+      case Opcode::CmpNe: return a != b ? 1u : 0u;
+      case Opcode::Select: return a ? b : c;
+      default:
+        panic("evalOp: opcode %s is not a pure scalar op", opName(op));
+    }
+}
+
+} // namespace isrf

@@ -1,0 +1,105 @@
+#include "kernel/schedule_dump.h"
+
+#include <map>
+#include <sstream>
+
+#include "util/log.h"
+#include "util/table.h"
+
+namespace isrf {
+
+namespace {
+
+const char *
+fuName(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::Alu: return "ALU";
+      case FuClass::Div: return "DIV";
+      case FuClass::Comm: return "COMM";
+      case FuClass::Sbuf: return "SBUF";
+      case FuClass::Sp: return "SP";
+      case FuClass::None: return "-";
+    }
+    return "?";
+}
+
+std::string
+nodeLabel(const KernelGraph &g, NodeId id)
+{
+    const Node &n = g.node(id);
+    std::string label = strprintf("n%u:%s", id, opName(n.op));
+    if (n.streamSlot >= 0) {
+        label += "(" +
+            g.streamSlots()[static_cast<size_t>(n.streamSlot)].name + ")";
+    }
+    return label;
+}
+
+} // namespace
+
+std::string
+dumpFlatSchedule(const KernelGraph &graph, const KernelSchedule &sched)
+{
+    std::ostringstream out;
+    out << strprintf("kernel %s: II=%u length=%u stages=%u sep=%u\n",
+                     graph.name().c_str(), sched.ii, sched.length,
+                     sched.stages(), sched.separation);
+    std::map<uint32_t, std::vector<NodeId>> byCycle;
+    for (NodeId id = 0; id < graph.nodeCount(); id++) {
+        if (opInfo(graph.node(id).op).fu == FuClass::None)
+            continue;
+        byCycle[sched.opCycle[id]].push_back(id);
+    }
+    for (const auto &kv : byCycle) {
+        out << strprintf("  t=%3u (slot %2u): ", kv.first,
+                         kv.first % sched.ii);
+        bool first = true;
+        for (NodeId id : kv.second) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << nodeLabel(graph, id) << "["
+                << fuName(opInfo(graph.node(id).op).fu) << "]";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+dumpReservationTable(const KernelGraph &graph, const KernelSchedule &sched)
+{
+    const FuClass classes[] = {FuClass::Alu, FuClass::Div, FuClass::Comm,
+                               FuClass::Sbuf, FuClass::Sp};
+    std::vector<std::string> header = {"slot"};
+    for (FuClass fu : classes)
+        header.emplace_back(fuName(fu));
+    Table t(header);
+
+    for (uint32_t slot = 0; slot < sched.ii; slot++) {
+        std::vector<std::string> row = {std::to_string(slot)};
+        for (FuClass fu : classes) {
+            std::string cell;
+            for (NodeId id = 0; id < graph.nodeCount(); id++) {
+                const OpInfo &info = opInfo(graph.node(id).op);
+                if (info.fu != fu)
+                    continue;
+                uint32_t dur = info.pipelined ? 1 : info.latency;
+                for (uint32_t d = 0; d < dur; d++) {
+                    if ((sched.opCycle[id] + d) % sched.ii == slot) {
+                        if (!cell.empty())
+                            cell += " ";
+                        cell += strprintf("n%u", id);
+                        break;
+                    }
+                }
+            }
+            row.push_back(cell.empty() ? "." : cell);
+        }
+        t.addRow(row);
+    }
+    return t.render();
+}
+
+} // namespace isrf

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable rendering of kernel schedules: the flat schedule and
+ * the modulo reservation table, for debugging kernels and verifying
+ * what the Figure 14-16 studies are measuring.
+ */
+#ifndef ISRF_KERNEL_SCHEDULE_DUMP_H
+#define ISRF_KERNEL_SCHEDULE_DUMP_H
+
+#include <string>
+
+#include "kernel/scheduler.h"
+
+namespace isrf {
+
+/**
+ * Render the flat schedule: one line per issue cycle listing the ops
+ * issued there, annotated with FU class and modulo slot.
+ */
+std::string dumpFlatSchedule(const KernelGraph &graph,
+                             const KernelSchedule &sched);
+
+/**
+ * Render the modulo reservation table: rows = modulo slots (0..II-1),
+ * columns = functional-unit classes, cells = ops occupying the slot.
+ */
+std::string dumpReservationTable(const KernelGraph &graph,
+                                 const KernelSchedule &sched);
+
+} // namespace isrf
+
+#endif // ISRF_KERNEL_SCHEDULE_DUMP_H

@@ -1,0 +1,344 @@
+#include "kernel/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/log.h"
+#include "util/random.h"
+
+namespace isrf {
+
+namespace {
+
+/** Resource dimensions in the modulo reservation table. */
+enum ResDim : uint32_t {
+    ResAlu = 0,
+    ResDiv,
+    ResComm,
+    ResSbuf,
+    ResSp,
+    ResIdxBase,  ///< one dimension per indexed stream slot follows
+};
+
+struct NodeRes
+{
+    uint32_t dim;
+    uint32_t duration;  ///< consecutive modulo slots occupied
+};
+
+/** Map a node to the MRT resource it occupies (duration in slots). */
+NodeRes
+nodeResource(const KernelGraph &g, NodeId id)
+{
+    const Node &n = g.node(id);
+    const OpInfo &info = opInfo(n.op);
+    switch (info.fu) {
+      case FuClass::Alu: return {ResAlu, 1};
+      case FuClass::Div: return {ResDiv, info.latency};
+      case FuClass::Comm: return {ResComm, 1};
+      case FuClass::Sp: return {ResSp, 1};
+      case FuClass::Sbuf:
+        // Address issues additionally contend for the per-stream single
+        // issue port; model that port as the binding resource since the
+        // Sbuf port itself is wider.
+        if (n.op == Opcode::IdxAddr || n.op == Opcode::IdxWrite)
+            return {ResIdxBase + static_cast<uint32_t>(n.streamSlot), 1};
+        return {ResSbuf, 1};
+      case FuClass::None:
+      default:
+        return {std::numeric_limits<uint32_t>::max(), 0};
+    }
+}
+
+} // namespace
+
+ModuloScheduler::ModuloScheduler(ClusterResources res, uint64_t seed)
+    : res_(res), seed_(seed)
+{
+}
+
+uint32_t
+ModuloScheduler::resourceMinII(const KernelGraph &graph) const
+{
+    uint32_t slotCount = static_cast<uint32_t>(graph.streamSlots().size());
+    std::vector<uint64_t> demand(ResIdxBase + slotCount, 0);
+    for (NodeId id = 0; id < graph.nodeCount(); id++) {
+        NodeRes r = nodeResource(graph, id);
+        if (r.dim == std::numeric_limits<uint32_t>::max())
+            continue;
+        demand[r.dim] += r.duration;
+    }
+    auto cap = [&](uint32_t dim) -> uint64_t {
+        switch (dim) {
+          case ResAlu: return res_.aluSlots;
+          case ResDiv: return res_.divSlots;
+          case ResComm: return res_.commSlots;
+          case ResSbuf: return res_.sbufSlots;
+          case ResSp: return res_.spSlots;
+          default: return res_.idxIssuePerStream;
+        }
+    };
+    uint64_t mii = 1;
+    for (uint32_t dim = 0; dim < demand.size(); dim++) {
+        if (demand[dim] == 0)
+            continue;
+        uint64_t c = cap(dim);
+        if (c == 0)
+            fatal("scheduler: zero capacity for resource dim %u with "
+                  "demand", dim);
+        mii = std::max(mii, (demand[dim] + c - 1) / c);
+    }
+    return static_cast<uint32_t>(mii);
+}
+
+uint32_t
+ModuloScheduler::recurrenceMinII(const KernelGraph &graph,
+                                 uint32_t separation) const
+{
+    auto edges = graph.fullEdges(separation);
+    size_t n = graph.nodeCount();
+    // Minimal II with no positive-weight cycle under weights
+    // (latency - II * distance). Linear scan is fine at kernel sizes.
+    uint32_t bound = 2;
+    for (const Edge &e : edges)
+        bound += e.latency;
+    for (uint32_t ii = 1; ii <= bound; ii++) {
+        // Bellman-Ford longest-path feasibility.
+        std::vector<int64_t> dist(n, 0);
+        bool changedLast = false;
+        for (size_t round = 0; round <= n; round++) {
+            changedLast = false;
+            for (const Edge &e : edges) {
+                int64_t w = static_cast<int64_t>(e.latency) -
+                    static_cast<int64_t>(ii) *
+                    static_cast<int64_t>(e.distance);
+                if (dist[e.from] + w > dist[e.to]) {
+                    dist[e.to] = dist[e.from] + w;
+                    changedLast = true;
+                }
+            }
+            if (!changedLast)
+                break;
+        }
+        if (!changedLast)
+            return ii;
+    }
+    panic("recurrenceMinII(%s): no feasible II below %u",
+          graph.name().c_str(), bound);
+}
+
+KernelSchedule
+ModuloScheduler::schedule(const KernelGraph &graph, uint32_t separation)
+{
+    graph.validate();
+    const size_t n = graph.nodeCount();
+    KernelSchedule out;
+    out.separation = separation;
+    if (n == 0) {
+        out.ii = 1;
+        out.length = 1;
+        return out;
+    }
+
+    auto edges = graph.fullEdges(separation);
+    std::vector<std::vector<size_t>> predEdges(n), succEdges(n);
+    for (size_t i = 0; i < edges.size(); i++) {
+        predEdges[edges[i].to].push_back(i);
+        succEdges[edges[i].from].push_back(i);
+    }
+
+    const uint32_t slotCount =
+        static_cast<uint32_t>(graph.streamSlots().size());
+    const uint32_t dims = ResIdxBase + slotCount;
+    auto capOf = [&](uint32_t dim) -> uint32_t {
+        switch (dim) {
+          case ResAlu: return res_.aluSlots;
+          case ResDiv: return res_.divSlots;
+          case ResComm: return res_.commSlots;
+          case ResSbuf: return res_.sbufSlots;
+          case ResSp: return res_.spSlots;
+          default: return res_.idxIssuePerStream;
+        }
+    };
+
+    uint32_t mii = std::max(resourceMinII(graph),
+                            recurrenceMinII(graph, separation));
+
+    Rng rng(seed_ ^ (static_cast<uint64_t>(separation) << 32) ^
+            std::hash<std::string>{}(graph.name()));
+    std::vector<uint64_t> jitter(n);
+    for (auto &j : jitter)
+        j = rng.next();
+
+    const uint32_t maxII = mii + 256;
+    for (uint32_t ii = mii; ii <= maxII; ii++) {
+        // --- Height-based priorities under this II. ---
+        std::vector<int64_t> height(n, 0);
+        bool infeasible = false;
+        for (size_t round = 0; round <= n; round++) {
+            bool changed = false;
+            for (const Edge &e : edges) {
+                int64_t w = static_cast<int64_t>(e.latency) -
+                    static_cast<int64_t>(ii) *
+                    static_cast<int64_t>(e.distance);
+                if (height[e.to] + w > height[e.from]) {
+                    height[e.from] = height[e.to] + w;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                break;
+            if (round == n)
+                infeasible = true;
+        }
+        if (infeasible)
+            continue;
+
+        // --- Iterative modulo scheduling. ---
+        constexpr int64_t kUnscheduled = std::numeric_limits<int64_t>::min();
+        std::vector<int64_t> sched(n, kUnscheduled);
+        std::vector<int64_t> prevSched(n, kUnscheduled);
+        // mrt[dim][slot] = current occupancy.
+        std::vector<std::vector<uint32_t>> mrt(
+            dims, std::vector<uint32_t>(ii, 0));
+
+        auto addUsage = [&](NodeId id, int64_t t, int sign) {
+            NodeRes r = nodeResource(graph, id);
+            if (r.dim == std::numeric_limits<uint32_t>::max())
+                return;
+            for (uint32_t d = 0; d < r.duration; d++) {
+                int64_t slot = ((t + d) % ii + ii) % ii;
+                mrt[r.dim][static_cast<size_t>(slot)] =
+                    static_cast<uint32_t>(
+                        static_cast<int64_t>(
+                            mrt[r.dim][static_cast<size_t>(slot)]) + sign);
+            }
+        };
+        auto fits = [&](NodeId id, int64_t t) {
+            NodeRes r = nodeResource(graph, id);
+            if (r.dim == std::numeric_limits<uint32_t>::max())
+                return true;
+            uint32_t cap = capOf(r.dim);
+            for (uint32_t d = 0; d < r.duration; d++) {
+                int64_t slot = ((t + d) % ii + ii) % ii;
+                if (mrt[r.dim][static_cast<size_t>(slot)] >= cap)
+                    return false;
+            }
+            return true;
+        };
+
+        size_t unscheduledCount = n;
+        int64_t budget = static_cast<int64_t>(n) * 16;
+        bool failed = false;
+        while (unscheduledCount > 0) {
+            if (budget-- <= 0) {
+                failed = true;
+                break;
+            }
+            // Highest-priority unscheduled node (jitter breaks ties,
+            // giving the benign schedule-length noise Fig. 14 mentions).
+            NodeId pick = kInvalidNode;
+            for (NodeId id = 0; id < n; id++) {
+                if (sched[id] != kUnscheduled)
+                    continue;
+                if (pick == kInvalidNode || height[id] > height[pick] ||
+                        (height[id] == height[pick] &&
+                         jitter[id] > jitter[pick])) {
+                    pick = id;
+                }
+            }
+
+            int64_t estart = 0;
+            for (size_t ei : predEdges[pick]) {
+                const Edge &e = edges[ei];
+                if (sched[e.from] == kUnscheduled)
+                    continue;
+                int64_t t = sched[e.from] + e.latency -
+                    static_cast<int64_t>(ii) *
+                    static_cast<int64_t>(e.distance);
+                estart = std::max(estart, t);
+            }
+
+            int64_t slot = -1;
+            for (int64_t t = estart;
+                    t < estart + static_cast<int64_t>(ii); t++) {
+                if (fits(pick, t)) {
+                    slot = t;
+                    break;
+                }
+            }
+            if (slot < 0) {
+                slot = (prevSched[pick] != kUnscheduled &&
+                        estart <= prevSched[pick])
+                    ? prevSched[pick] + 1 : estart;
+                // Evict whatever conflicts on resources at this slot.
+                for (NodeId other = 0; other < n; other++) {
+                    if (other == pick || sched[other] == kUnscheduled)
+                        continue;
+                    NodeRes ro = nodeResource(graph, other);
+                    NodeRes rp = nodeResource(graph, pick);
+                    if (ro.dim != rp.dim ||
+                            rp.dim == std::numeric_limits<uint32_t>::max())
+                        continue;
+                    bool overlap = false;
+                    for (uint32_t a = 0; a < rp.duration && !overlap; a++) {
+                        for (uint32_t b = 0; b < ro.duration; b++) {
+                            if (((slot + a) % ii + ii) % ii ==
+                                    ((sched[other] + b) % ii + ii) % ii) {
+                                overlap = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (overlap) {
+                        addUsage(other, sched[other], -1);
+                        sched[other] = kUnscheduled;
+                        unscheduledCount++;
+                    }
+                }
+            }
+
+            sched[pick] = slot;
+            prevSched[pick] = slot;
+            addUsage(pick, slot, +1);
+            unscheduledCount--;
+
+            // Evict successors whose dependence is now violated.
+            for (size_t ei : succEdges[pick]) {
+                const Edge &e = edges[ei];
+                if (e.to == pick || sched[e.to] == kUnscheduled)
+                    continue;
+                int64_t need = slot + e.latency -
+                    static_cast<int64_t>(ii) *
+                    static_cast<int64_t>(e.distance);
+                if (sched[e.to] < need) {
+                    addUsage(e.to, sched[e.to], -1);
+                    sched[e.to] = kUnscheduled;
+                    unscheduledCount++;
+                }
+            }
+        }
+        if (failed)
+            continue;
+
+        // Normalize to a non-negative flat schedule.
+        int64_t minT = std::numeric_limits<int64_t>::max();
+        for (NodeId id = 0; id < n; id++)
+            minT = std::min(minT, sched[id]);
+        out.ii = ii;
+        out.opCycle.resize(n);
+        uint32_t length = 1;
+        for (NodeId id = 0; id < n; id++) {
+            out.opCycle[id] = static_cast<uint32_t>(sched[id] - minT);
+            uint32_t lat = std::max<uint32_t>(
+                1, opInfo(graph.node(id).op).latency);
+            length = std::max(length, out.opCycle[id] + lat);
+        }
+        out.length = length;
+        return out;
+    }
+    panic("ModuloScheduler: failed to schedule kernel %s (sep=%u) up to "
+          "II=%u", graph.name().c_str(), separation, maxII);
+}
+
+} // namespace isrf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Software-pipelining (iterative modulo) scheduler for kernel loops.
+ *
+ * Reproduces the role of the Imagine kernel scheduler [19]: given a
+ * kernel dataflow graph, the cluster's functional-unit resources
+ * (Table 3: 4 pipelined ALUs + 1 unpipelined divider per lane), and the
+ * fixed indexed address/data separation, it finds a modulo schedule with
+ * the smallest feasible initiation interval (II). The inner-loop length
+ * reported by Figure 14 is this II; the flat schedule length determines
+ * software-pipeline fill/drain overhead.
+ */
+#ifndef ISRF_KERNEL_SCHEDULER_H
+#define ISRF_KERNEL_SCHEDULER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/graph.h"
+
+namespace isrf {
+
+/** Per-cluster issue resources visible to the scheduler. */
+struct ClusterResources
+{
+    uint32_t aluSlots = 4;   ///< pipelined add/mul/logic units
+    uint32_t divSlots = 1;   ///< unpipelined divider
+    uint32_t commSlots = 1;  ///< inter-cluster network sends per cycle
+    uint32_t sbufSlots = 4;  ///< stream-buffer port accesses per cycle
+    uint32_t spSlots = 1;    ///< scratchpad accesses per cycle
+    /**
+     * Indexed SRF address issues per stream per cycle. The paper's
+     * implementation "limits each indexed stream to issuing a single
+     * indexed SRF access per cycle" (§5.3).
+     */
+    uint32_t idxIssuePerStream = 1;
+};
+
+/** Result of scheduling one kernel loop body. */
+struct KernelSchedule
+{
+    /** Initiation interval: cycles between successive loop iterations. */
+    uint32_t ii = 0;
+    /** Flat schedule length: issue of first op to retire of last. */
+    uint32_t length = 0;
+    /** Absolute issue cycle per node (relative to iteration start). */
+    std::vector<uint32_t> opCycle;
+    /** Address/data separation the schedule was built for. */
+    uint32_t separation = 0;
+    /** Number of software-pipeline stages = ceil(length / ii). */
+    uint32_t
+    stages() const
+    {
+        return ii ? (length + ii - 1) / ii : 0;
+    }
+};
+
+/**
+ * Iterative modulo scheduler (Rau-style IMS).
+ *
+ * Construction binds the resource model; schedule() may be invoked for
+ * multiple graphs/separations. A deterministic seeded perturbation is
+ * applied to priority ties, mirroring the "randomized algorithms used in
+ * the scheduler" whose noise the paper notes in Figure 14.
+ */
+class ModuloScheduler
+{
+  public:
+    explicit ModuloScheduler(ClusterResources res = {}, uint64_t seed = 1);
+
+    /**
+     * Schedule a kernel loop body.
+     *
+     * @param graph Validated kernel graph.
+     * @param separation Min cycles between indexed address issue and the
+     *        corresponding data read (applied to IdxAddr→IdxRead pairs).
+     */
+    KernelSchedule schedule(const KernelGraph &graph, uint32_t separation);
+
+    /** Resource-constrained lower bound on II. */
+    uint32_t resourceMinII(const KernelGraph &graph) const;
+
+    /** Recurrence-constrained lower bound on II for a separation. */
+    uint32_t recurrenceMinII(const KernelGraph &graph,
+                             uint32_t separation) const;
+
+  private:
+    ClusterResources res_;
+    uint64_t seed_;
+};
+
+} // namespace isrf
+
+#endif // ISRF_KERNEL_SCHEDULER_H

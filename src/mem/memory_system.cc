@@ -1,0 +1,94 @@
+#include "mem/memory_system.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+void
+MemorySystem::init(const MemSystemConfig &cfg, const DramConfig &dramCfg,
+                   const CacheConfig &cacheCfg, Srf *srf)
+{
+    cfg_ = cfg;
+    srf_ = srf;
+    dram_.init(dramCfg);
+    cache_.init(cacheCfg);
+    units_.assign(cfg.units, StreamMemUnit());
+    unitOpId_.assign(cfg.units, 0);
+    for (auto &u : units_) {
+        u.init(&dram_, cfg.cacheEnabled ? &cache_ : nullptr, srf,
+               cfg.stagingWords);
+    }
+    queue_.clear();
+    nextId_ = 1;
+}
+
+MemOpId
+MemorySystem::submit(MemOp op)
+{
+    if (op.srfSlot == kNoSlot)
+        panic("MemorySystem::submit: op without SRF slot");
+    if (!cfg_.cacheEnabled)
+        op.cached = false;
+    MemOpId id = nextId_++;
+    queue_.push_back({id, std::move(op)});
+    stats_.counter("ops_submitted").inc();
+    return id;
+}
+
+bool
+MemorySystem::done(MemOpId id) const
+{
+    if (id <= 0 || id >= nextId_)
+        return false;
+    for (size_t u = 0; u < units_.size(); u++)
+        if (units_[u].busy() && unitOpId_[u] == id)
+            return false;
+    for (const auto &p : queue_)
+        if (p.id == id)
+            return false;
+    return true;
+}
+
+bool
+MemorySystem::idle() const
+{
+    if (!queue_.empty())
+        return false;
+    for (const auto &u : units_)
+        if (u.busy())
+            return false;
+    return true;
+}
+
+size_t
+MemorySystem::inFlight() const
+{
+    size_t n = queue_.size();
+    for (const auto &u : units_)
+        if (u.busy())
+            n++;
+    return n;
+}
+
+void
+MemorySystem::tick(Cycle now)
+{
+    dram_.tick();
+    MemBandwidth bw;
+    bw.cacheTokens = cfg_.cacheEnabled ? cache_.config().wordsPerCycle : 0;
+
+    // Dispatch queued ops to free units.
+    for (size_t u = 0; u < units_.size() && !queue_.empty(); u++) {
+        if (units_[u].busy())
+            continue;
+        units_[u].start(queue_.front().op, now);
+        unitOpId_[u] = queue_.front().id;
+        queue_.pop_front();
+        stats_.counter("ops_started").inc();
+    }
+
+    for (auto &u : units_)
+        u.tick(now, bw);
+}
+
+} // namespace isrf

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Memory system front-end: accepts stream memory operations, runs them
+ * on a small number of StreamMemUnits, and owns shared DRAM/cache
+ * bandwidth accounting.
+ */
+#ifndef ISRF_MEM_MEMORY_SYSTEM_H
+#define ISRF_MEM_MEMORY_SYSTEM_H
+
+#include <deque>
+#include <vector>
+
+#include "mem/stream_mem_unit.h"
+
+namespace isrf {
+
+/** Memory-system configuration. */
+struct MemSystemConfig
+{
+    uint32_t units = 2;          ///< concurrent stream memory ops
+    uint32_t stagingWords = 64;  ///< per-unit staging buffer
+    bool cacheEnabled = false;   ///< Cache machine configuration
+};
+
+/** Handle to a submitted stream memory operation. */
+using MemOpId = int64_t;
+
+/**
+ * The machine's memory system: queue + units + DRAM (+ vector cache).
+ */
+class MemorySystem
+{
+  public:
+    void init(const MemSystemConfig &cfg, const DramConfig &dramCfg,
+              const CacheConfig &cacheCfg, Srf *srf);
+
+    /** Submit an op; runs when a unit frees up (FIFO). */
+    MemOpId submit(MemOp op);
+
+    /** True once the op has fully completed. */
+    bool done(MemOpId id) const;
+
+    /** True when no op is queued or executing. */
+    bool idle() const;
+
+    /** Number of ops queued or executing. */
+    size_t inFlight() const;
+
+    void tick(Cycle now);
+
+    Dram &dram() { return dram_; }
+    const Dram &dram() const { return dram_; }
+    Cache &cache() { return cache_; }
+    const Cache &cache() const { return cache_; }
+    bool cacheEnabled() const { return cfg_.cacheEnabled; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Pending
+    {
+        MemOpId id;
+        MemOp op;
+    };
+
+    MemSystemConfig cfg_;
+    Srf *srf_ = nullptr;
+    Dram dram_;
+    Cache cache_;
+    std::vector<StreamMemUnit> units_;
+    std::vector<MemOpId> unitOpId_;
+    std::deque<Pending> queue_;
+    MemOpId nextId_ = 1;
+    StatGroup stats_{"mem"};
+};
+
+} // namespace isrf
+
+#endif // ISRF_MEM_MEMORY_SYSTEM_H

@@ -1,0 +1,1 @@
+#include "net/index_network.h"

@@ -1,0 +1,49 @@
+#include "sim/engine.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+void
+Engine::add(Ticked *component)
+{
+    if (!component)
+        panic("Engine::add: null component");
+    components_.push_back(component);
+}
+
+void
+Engine::step()
+{
+    for (Ticked *c : components_)
+        c->tick(now_);
+    for (Ticked *c : components_)
+        c->postTick(now_);
+    now_++;
+}
+
+void
+Engine::steps(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; i++)
+        step();
+}
+
+uint64_t
+Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
+{
+    uint64_t executed = 0;
+    while (!done()) {
+        if (executed >= limit) {
+            panic("Engine::runUntil: cycle limit %llu exceeded at cycle "
+                  "%llu (model deadlock?)",
+                  static_cast<unsigned long long>(limit),
+                  static_cast<unsigned long long>(now_));
+        }
+        step();
+        executed++;
+    }
+    return executed;
+}
+
+} // namespace isrf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Synchronous tick engine driving all machine components.
+ */
+#ifndef ISRF_SIM_ENGINE_H
+#define ISRF_SIM_ENGINE_H
+
+#include <functional>
+#include <vector>
+
+#include "sim/ticked.h"
+
+namespace isrf {
+
+/**
+ * Fixed-order synchronous simulation engine.
+ *
+ * Components are registered once at machine construction; each call to
+ * step() advances the machine one cycle by invoking tick() on every
+ * component in order, then postTick() on every component in order.
+ * runUntil() steps until a predicate is satisfied or a cycle limit is
+ * hit (the limit guards against deadlocked models).
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+
+    /** Register a component. Not owned; must outlive the engine. */
+    void add(Ticked *component);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Advance n cycles. */
+    void steps(uint64_t n);
+
+    /**
+     * Step until done() returns true.
+     *
+     * @param done Predicate checked after each cycle.
+     * @param limit Max cycles to run before panicking (deadlock guard).
+     * @return Number of cycles executed by this call.
+     */
+    uint64_t runUntil(const std::function<bool()> &done,
+                      uint64_t limit = 1ull << 32);
+
+    /** Current simulation time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Reset the clock to zero (components are not reset). */
+    void resetClock() { now_ = 0; }
+
+    size_t componentCount() const { return components_.size(); }
+
+  private:
+    std::vector<Ticked *> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace isrf
+
+#endif // ISRF_SIM_ENGINE_H

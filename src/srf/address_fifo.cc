@@ -1,0 +1,1 @@
+#include "srf/address_fifo.h"

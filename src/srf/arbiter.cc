@@ -1,0 +1,1 @@
+#include "srf/arbiter.h"

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Round-robin arbiter used for global SRF port arbitration (§4.4).
+ *
+ * Claimants register a stable id; each cycle the arbiter picks one of
+ * the currently claiming ids, rotating priority so every claimant makes
+ * progress. The paper found complex stall-aware arbiters buy <10%
+ * (§5.4), so round-robin is both faithful and sufficient.
+ */
+#ifndef ISRF_SRF_ARBITER_H
+#define ISRF_SRF_ARBITER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace isrf {
+
+/** Simple rotating-priority arbiter over integer claimant ids. */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(uint32_t numClaimants = 0)
+        : n_(numClaimants)
+    {
+    }
+
+    void resize(uint32_t numClaimants) { n_ = numClaimants; }
+    uint32_t size() const { return n_; }
+
+    /**
+     * Choose among claiming ids (claims[i] != 0 means id i claims).
+     * @return granted id, or -1 if nobody claims. Advances priority.
+     */
+    int
+    arbitrate(const std::vector<uint8_t> &claims)
+    {
+        if (claims.size() != n_)
+            return -1;
+        for (uint32_t k = 0; k < n_; k++) {
+            uint32_t id = (next_ + k) % n_;
+            if (claims[id]) {
+                next_ = (id + 1) % n_;
+                grants_++;
+                return static_cast<int>(id);
+            }
+        }
+        idleCycles_++;
+        return -1;
+    }
+
+    uint64_t grants() const { return grants_; }
+    uint64_t idleCycles() const { return idleCycles_; }
+
+  private:
+    uint32_t n_;
+    uint32_t next_ = 0;
+    uint64_t grants_ = 0;
+    uint64_t idleCycles_ = 0;
+};
+
+} // namespace isrf
+
+#endif // ISRF_SRF_ARBITER_H

@@ -1,0 +1,1 @@
+#include "srf/stream_buffer.h"

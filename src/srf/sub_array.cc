@@ -1,0 +1,1 @@
+#include "srf/sub_array.h"

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the simulator.
+ *
+ * Follows the gem5 convention: fatal() is for user errors (bad
+ * configuration, impossible parameters), panic() is for internal
+ * invariant violations (simulator bugs). Both terminate; fatal exits
+ * cleanly while panic aborts.
+ */
+#ifndef ISRF_UTIL_LOG_H
+#define ISRF_UTIL_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace isrf {
+
+/** Verbosity levels for the simulator-wide logger. */
+enum class LogLevel {
+    Quiet = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Set the global verbosity threshold (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/** printf-style message at a given level; filtered by the threshold. */
+void logMessage(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/** User-facing error: print message and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Internal invariant violation: print message and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+#define ISRF_WARN(...) ::isrf::logMessage(::isrf::LogLevel::Warn, __VA_ARGS__)
+#define ISRF_INFO(...) ::isrf::logMessage(::isrf::LogLevel::Info, __VA_ARGS__)
+#define ISRF_DEBUG(...) ::isrf::logMessage(::isrf::LogLevel::Debug, __VA_ARGS__)
+#define ISRF_TRACE(...) ::isrf::logMessage(::isrf::LogLevel::Trace, __VA_ARGS__)
+
+} // namespace isrf
+
+#endif // ISRF_UTIL_LOG_H

@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include "util/log.h"
+
+namespace isrf {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    if (hi <= lo || buckets == 0)
+        panic("Histogram: invalid range [%f, %f) x %zu", lo, hi, buckets);
+}
+
+void
+Histogram::sample(double v, uint64_t weight)
+{
+    total_ += weight;
+    weightedSum_ += v * static_cast<double>(weight);
+    if (v < lo_) {
+        underflow_ += weight;
+    } else if (v >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto idx = static_cast<size_t>(
+            (v - lo_) / (hi_ - lo_) * static_cast<double>(buckets_.size()));
+        if (idx >= buckets_.size())
+            idx = buckets_.size() - 1;
+        buckets_[idx] += weight;
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    underflow_ = overflow_ = total_ = 0;
+    weightedSum_ = 0;
+}
+
+double
+Histogram::bucketLow(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+        static_cast<double>(buckets_.size());
+}
+
+double
+Histogram::bucketHigh(size_t i) const
+{
+    return bucketLow(i + 1);
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Average &
+StatGroup::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+uint64_t
+StatGroup::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : averages_)
+        kv.second.reset();
+}
+
+std::vector<std::string>
+StatGroup::formatRows() const
+{
+    std::vector<std::string> rows;
+    for (const auto &kv : counters_) {
+        rows.push_back(strprintf("%s.%s = %llu", name_.c_str(),
+            kv.first.c_str(),
+            static_cast<unsigned long long>(kv.second.value())));
+    }
+    for (const auto &kv : averages_) {
+        rows.push_back(strprintf("%s.%s = %.4f (n=%llu)", name_.c_str(),
+            kv.first.c_str(), kv.second.mean(),
+            static_cast<unsigned long long>(kv.second.count())));
+    }
+    return rows;
+}
+
+} // namespace isrf

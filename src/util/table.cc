@@ -1,0 +1,126 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace isrf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    if (header_.empty())
+        panic("Table: empty header");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size()) {
+        panic("Table: row arity %zu != header arity %zu", cells.size(),
+              header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &values,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmtDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); c++)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto hline = [&]() {
+        std::string s = "+";
+        for (size_t w : widths)
+            s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (size_t c = 0; c < cells.size(); c++) {
+            s += " " + cells[c] +
+                std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::string out = hline() + line(header_) + hline();
+    for (size_t r = 0; r < rows_.size(); r++) {
+        if (std::find(separators_.begin(), separators_.end(), r) !=
+                separators_.end() && r != 0) {
+            out += hline();
+        }
+        out += line(rows_[r]);
+    }
+    out += hline();
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += "\"\"";
+            else
+                q += ch;
+        }
+        q += "\"";
+        return q;
+    };
+    std::ostringstream out;
+    for (size_t c = 0; c < header_.size(); c++)
+        out << (c ? "," : "") << quote(header_[c]);
+    out << "\n";
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); c++)
+            out << (c ? "," : "") << quote(row[c]);
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+asciiBar(double v, double maxV, size_t width)
+{
+    if (maxV <= 0)
+        return std::string();
+    double frac = std::clamp(v / maxV, 0.0, 1.0);
+    auto n = static_cast<size_t>(frac * static_cast<double>(width) + 0.5);
+    return std::string(n, '#') + std::string(width - n, ' ');
+}
+
+} // namespace isrf

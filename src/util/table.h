@@ -1,0 +1,64 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+#ifndef ISRF_UTIL_TABLE_H
+#define ISRF_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace isrf {
+
+/**
+ * Simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "Base", "ISRF4"});
+ *   t.addRow({"FFT 2D", "1.00", "0.45"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a row of doubles formatted with the given precision. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 3);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render as an aligned ASCII table with a border. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<size_t> separators_;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string fmtDouble(double v, int precision = 3);
+
+/**
+ * Render an ASCII bar for a value in [0, maxV]: used to sketch
+ * figure-style output in terminal benchmark reports.
+ */
+std::string asciiBar(double v, double maxV, size_t width = 40);
+
+} // namespace isrf
+
+#endif // ISRF_UTIL_TABLE_H

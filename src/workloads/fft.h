@@ -1,0 +1,77 @@
+/**
+ * @file
+ * 2D FFT benchmark (§5.2): a 64x64 complex FFT held entirely in the
+ * SRF.
+ *
+ * Base/Cache: the row-FFT pass is followed by a 90-degree rotation of
+ * the array *through memory* (store + column-major gather), then the
+ * column pass. With the Cache configuration the rotation traffic is
+ * captured on chip but the explicit reorder operation remains.
+ *
+ * ISRF: the natural m-word striping leaves every array column resident
+ * in a single lane's bank, so the first column-pass kernel reads its
+ * inputs directly via in-lane indexed SRF access and the rotation
+ * through memory disappears.
+ *
+ * The FFT itself is a radix-2 DIF pipeline: one kernel per stage,
+ * one butterfly per kernel iteration (4 words in, 4 words out, 10
+ * flops), intermediate streams forwarded through the SRF (Figure 1).
+ */
+#ifndef ISRF_WORKLOADS_FFT_H
+#define ISRF_WORKLOADS_FFT_H
+
+#include <complex>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+using Cplx = std::complex<float>;
+
+/** FFT benchmark parameters (paper: 64x64). */
+struct FftParams
+{
+    uint32_t n = 64;  ///< array is n x n; n a power of two
+};
+
+/** Bit-reverse the low `bits` bits of v. */
+uint32_t bitReverse(uint32_t v, uint32_t bits);
+
+/**
+ * Apply one DIF radix-2 stage (stage 0 = widest butterflies) to each
+ * length-n row of a row-major matrix. After all log2(n) stages, row
+ * FFTs are complete with outputs in bit-reversed positions.
+ */
+std::vector<Cplx> fftDifStageRows(const std::vector<Cplx> &a, uint32_t n,
+                                  uint32_t stage);
+
+/** Full 1D FFT (natural order output) — reference building block. */
+std::vector<Cplx> fft1d(std::vector<Cplx> a);
+
+/** O(n^2) direct DFT — independent reference for validation. */
+std::vector<Cplx> dft1dReference(const std::vector<Cplx> &a);
+
+/** Reference 2D FFT (rows then columns), natural order. */
+std::vector<Cplx> fft2dReference(const std::vector<Cplx> &a, uint32_t n);
+
+/** Kernel graph of a sequential FFT butterfly stage. */
+KernelGraph fftStageSeqGraph();
+
+/** Kernel graph of the indexed first column stage (ISRF configs). */
+KernelGraph fftStageIdxGraph();
+
+/** Run the FFT2D benchmark on the given machine configuration. */
+WorkloadResult runFft2d(const MachineConfig &cfg,
+                        const WorkloadOptions &opts);
+
+/**
+ * As runFft2d but for an n x n array (n a power of two, and 2*n
+ * divisible by lanes*seqWidth so columns stay lane-local).
+ */
+WorkloadResult runFft2dSized(const MachineConfig &cfg,
+                             const WorkloadOptions &opts, uint32_t n);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_FFT_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Filter benchmark (§5.2): 5x5 convolution over a 256x256 image.
+ *
+ * The image does not fit in the SRF, so it is strip-mined into bands of
+ * rows (with two halo rows above and below each band). The Base
+ * implementation keeps the sliding 5x5 neighborhood in the cluster
+ * scratchpad, paying scratchpad-port accesses and state management in
+ * the inner loop; the ISRF implementation reads the neighborhood
+ * column directly from the SRF with in-lane indexed accesses. Both
+ * move the same data on and off chip (Figure 11: no traffic change);
+ * the win is a shorter kernel loop (Figure 12).
+ */
+#ifndef ISRF_WORKLOADS_FILTER_H
+#define ISRF_WORKLOADS_FILTER_H
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** Filter benchmark parameters (paper: 5x5 over 256x256). */
+struct FilterParams
+{
+    uint32_t size = 256;
+    uint32_t stripRows = 16;  ///< sized so double-buffered strips fit
+};
+
+/** Reference 5x5 convolution with clamped borders. */
+std::vector<float> conv5x5Reference(const std::vector<float> &img,
+                                    uint32_t n);
+
+/** The 5x5 filter tap at (dr+2, dc+2). */
+float filterTap(int dr, int dc);
+
+/** ISRF kernel: 5 new-column indexed reads + partial-sum reuse. */
+KernelGraph filterIdxGraph();
+
+/** Base kernel: scratchpad-buffered sliding window. */
+KernelGraph filterSpGraph();
+
+WorkloadResult runFilter(const MachineConfig &cfg,
+                         const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_FILTER_H

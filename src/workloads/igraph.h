@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Irregular Graph (IG) synthetic benchmark (§5.2, Table 4): neighbor
+ * interactions over a static irregular graph, strip-mined because the
+ * graph greatly exceeds SRF capacity.
+ *
+ * Base: every edge's neighbor record is *replicated* into a sequential
+ * stream gathered from memory (per-edge traffic = a full record).
+ * ISRF: the strip's node records are loaded once (condensed array) and
+ * neighbors are fetched by cross-lane indexed SRF reads through an
+ * index (pointer) stream — eliminating intra-strip replication at the
+ * cost of one index word per edge, and roughly doubling the strip size
+ * that fits in the same SRF budget (Table 4).
+ *
+ * Datasets: IG_{S|D}{M|C}{S|L} — Sparse/Dense average degree,
+ * Memory/Compute limited (16 vs 51 FP ops per neighbor), Short/Long
+ * strips.
+ */
+#ifndef ISRF_WORKLOADS_IGRAPH_H
+#define ISRF_WORKLOADS_IGRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** One IG dataset configuration. */
+struct IgDataset
+{
+    std::string name;
+    uint32_t fpOpsPerNeighbor;  ///< 16 (memory) or 51 (compute)
+    uint32_t avgDegree;         ///< 4 (sparse) or 16 (dense)
+    uint32_t nodes;
+    /** SRF word budget per strip (sets Table 4 strip sizes). */
+    uint32_t stripBudgetWords;
+};
+
+/** The four Table 4 datasets. */
+const std::vector<IgDataset> &igDatasets();
+const IgDataset &igDataset(const std::string &name);
+
+/** A generated irregular graph. */
+struct IgGraph
+{
+    uint32_t nodes = 0;
+    /** CSR-ish: per node, its neighbor node ids. */
+    std::vector<std::vector<uint32_t>> adj;
+    uint64_t edges() const;
+};
+
+/** Generate a graph with locality-biased neighbor selection. */
+IgGraph igGenerate(const IgDataset &ds, uint64_t seed);
+
+/** Words per node record (value + auxiliary fields). */
+constexpr uint32_t kIgRecordWords = 4;
+
+/** Strip sizes (neighbors per kernel invocation), base vs indexed. */
+struct IgStripSizes
+{
+    uint32_t baseNeighbors;
+    uint32_t indexedNeighbors;
+};
+IgStripSizes igStripSizes(const IgDataset &ds);
+
+/** Reference one-sweep (Jacobi) node update. */
+std::vector<float> igReferenceUpdate(const IgGraph &g,
+                                     const std::vector<float> &values);
+
+/** Kernel graphs: IGraph1 = 16 FP ops, IGraph2 = 51 FP ops (§5.4). */
+KernelGraph igIdxKernelGraph(uint32_t fpOps);
+KernelGraph igBaseKernelGraph(uint32_t fpOps);
+
+/** Run one IG dataset on a machine configuration. */
+WorkloadResult runIgraph(const std::string &dataset,
+                         const MachineConfig &cfg,
+                         const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_IGRAPH_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Rijndael (AES-128) benchmark (§5.2): the optimized T-table
+ * implementation [25] running in CBC mode, with each cluster
+ * encrypting an independent data stream.
+ *
+ * ISRF configurations hold the four 1 KB T-tables replicated in every
+ * lane and perform the 16 table lookups of each round as in-lane
+ * indexed SRF accesses. The Base configuration must instead round-trip
+ * through memory each round: a kernel emits the lookup indices, an
+ * indexed gather fetches the table entries, and the next kernel
+ * consumes them. The Cache configuration routes those gathers through
+ * the vector cache, which captures the tables but is bandwidth-bound.
+ *
+ * The AES implementation is real: the S-box is derived from GF(2^8)
+ * inversion + the affine transform, T-tables from the S-box, and the
+ * pipeline is validated against FIPS-197 test vectors.
+ */
+#ifndef ISRF_WORKLOADS_RIJNDAEL_H
+#define ISRF_WORKLOADS_RIJNDAEL_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** GF(2^8) multiply modulo x^8+x^4+x^3+x+1. */
+uint8_t aesGfMul(uint8_t a, uint8_t b);
+
+/** The AES S-box (computed, not transcribed). */
+const std::array<uint8_t, 256> &aesSbox();
+
+/** T-table i (0..3), 256 entries. */
+const std::array<uint32_t, 256> &aesTe(int i);
+
+/** AES-128 expanded key: 44 round-key words. */
+std::array<uint32_t, 44> aesExpandKey128(const std::array<uint8_t, 16> &key);
+
+/**
+ * Encrypt one 16-byte block with the T-table implementation.
+ *
+ * @param idxTrace If non-null, appends per round (1..10) the 16 lookup
+ *        byte-indices in issue order (4 per table, grouped by table).
+ * @param stateTrace If non-null, appends the state after each round.
+ */
+std::array<uint8_t, 16>
+aesEncryptBlock128(const std::array<uint32_t, 44> &rk,
+                   const std::array<uint8_t, 16> &plain,
+                   std::vector<std::array<uint8_t, 16>> *idxTrace = nullptr,
+                   std::vector<std::array<uint32_t, 4>> *stateTrace =
+                       nullptr);
+
+/** CBC-mode encryption of a sequence of blocks. */
+std::vector<std::array<uint8_t, 16>>
+aesCbcEncrypt128(const std::array<uint8_t, 16> &key,
+                 const std::array<uint8_t, 16> &iv,
+                 const std::vector<std::array<uint8_t, 16>> &blocks);
+
+/** Kernel graph of the ISRF per-round kernel (4 idxl table streams). */
+KernelGraph rijndaelRoundIdxGraph();
+
+/** Kernel graph of the Base/Cache per-round kernel (gathered values). */
+KernelGraph rijndaelRoundBaseGraph(bool firstRound, bool lastRound);
+
+/** Rijndael benchmark parameters. */
+struct RijndaelParams
+{
+    uint32_t blocksPerLane = 24;
+};
+
+WorkloadResult runRijndael(const MachineConfig &cfg,
+                           const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_RIJNDAEL_H

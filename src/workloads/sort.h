@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sort benchmark (§5.2): merge sort of 4096 32-bit values.
+ *
+ * Each merge iteration conditionally consumes the smaller of two run
+ * heads. On the Base machine this becomes a *conditional stream* [16]:
+ * the dynamically selected elements must be distributed across lanes
+ * through the inter-cluster network (a prefix-sum/routing step on
+ * every iteration), which puts several communication operations on the
+ * merge recurrence. With an indexed SRF the condition instead feeds an
+ * address computation and the element is fetched with an in-lane
+ * indexed read; no cross-lane communication is needed until each
+ * lane's 512 elements are internally sorted (kernel Sort1), after
+ * which three cross-lane merge passes (kernel Sort2) combine the runs.
+ */
+#ifndef ISRF_WORKLOADS_SORT_H
+#define ISRF_WORKLOADS_SORT_H
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** Sort benchmark parameters (paper: 4096 values). */
+struct SortParams
+{
+    uint32_t totalValues = 4096;
+};
+
+/** ISRF local-merge kernel: conditional index computation (Sort1). */
+KernelGraph sortLocalIdxGraph();
+
+/** ISRF cross-lane merge kernel (Sort2): indexed reads + comm. */
+KernelGraph sortGlobalIdxGraph();
+
+/** Base conditional-stream merge kernel (Sort1/Sort2 on Base/Cache). */
+KernelGraph sortCondStreamGraph(const char *name);
+
+WorkloadResult runSort(const MachineConfig &cfg,
+                       const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_SORT_H

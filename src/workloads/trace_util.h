@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Helpers for building kernel invocations from functional traces.
+ */
+#ifndef ISRF_WORKLOADS_TRACE_UTIL_H
+#define ISRF_WORKLOADS_TRACE_UTIL_H
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.h"
+
+namespace isrf {
+
+/** Lane owning word `w` of a striped stream. */
+inline uint32_t
+stripeLane(const SrfGeometry &g, uint64_t wordIndex)
+{
+    return static_cast<uint32_t>((wordIndex / g.seqWidth) % g.lanes);
+}
+
+/** Split a striped stream's words into per-lane vectors (lane order). */
+inline std::vector<std::vector<Word>>
+splitStriped(const SrfGeometry &g, const std::vector<Word> &data)
+{
+    std::vector<std::vector<Word>> lanes(g.lanes);
+    for (uint64_t w = 0; w < data.size(); w++)
+        lanes[stripeLane(g, w)].push_back(data[w]);
+    return lanes;
+}
+
+/** Interleave per-lane vectors back into striped stream order. */
+inline std::vector<Word>
+mergeStriped(const SrfGeometry &g, const std::vector<std::vector<Word>> &l)
+{
+    uint64_t total = 0;
+    for (const auto &v : l)
+        total += v.size();
+    std::vector<Word> out(total);
+    std::vector<size_t> cur(g.lanes, 0);
+    for (uint64_t w = 0; w < total; w++) {
+        uint32_t lane = stripeLane(g, w);
+        out[w] = l[lane][cur[lane]++];
+    }
+    return out;
+}
+
+/** Allocate an invocation skeleton with slot bindings + empty traces. */
+inline std::shared_ptr<KernelInvocation>
+newInvocation(Machine &m, const KernelGraph *graph,
+              std::vector<SlotId> slots)
+{
+    auto inv = std::make_shared<KernelInvocation>();
+    inv->graph = graph;
+    inv->sched = m.scheduleKernel(*graph);
+    inv->slots = std::move(slots);
+    inv->laneTraces.assign(m.lanes(), LaneTrace());
+    size_t nSlots = graph->streamSlots().size();
+    for (auto &t : inv->laneTraces) {
+        t.seqWrites.resize(nSlots);
+        t.idxReads.resize(nSlots);
+        t.idxWrites.resize(nSlots);
+    }
+    return inv;
+}
+
+/** Word view of float data. */
+inline std::vector<Word>
+floatsToWords(const std::vector<float> &f)
+{
+    std::vector<Word> w(f.size());
+    for (size_t i = 0; i < f.size(); i++)
+        w[i] = floatToWord(f[i]);
+    return w;
+}
+
+inline std::vector<float>
+wordsToFloats(const std::vector<Word> &w)
+{
+    std::vector<float> f(w.size());
+    for (size_t i = 0; i < w.size(); i++)
+        f[i] = wordToFloat(w[i]);
+    return f;
+}
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_TRACE_UTIL_H

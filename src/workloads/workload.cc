@@ -1,0 +1,57 @@
+#include "workloads/workload.h"
+
+#include "util/log.h"
+#include "workloads/fft.h"
+#include "workloads/filter.h"
+#include "workloads/igraph.h"
+#include "workloads/rijndael.h"
+#include "workloads/sort.h"
+
+namespace isrf {
+
+const std::map<std::string, WorkloadRunner> &
+workloadRegistry()
+{
+    static const std::map<std::string, WorkloadRunner> reg = [] {
+        std::map<std::string, WorkloadRunner> r;
+        r["FFT 2D"] = runFft2d;
+        r["Rijndael"] = runRijndael;
+        r["Sort"] = runSort;
+        r["Filter"] = runFilter;
+        for (const auto &ds : igDatasets()) {
+            std::string name = ds.name;
+            r[name] = [name](const MachineConfig &cfg,
+                             const WorkloadOptions &opts) {
+                return runIgraph(name, cfg, opts);
+            };
+        }
+        return r;
+    }();
+    return reg;
+}
+
+WorkloadResult
+runWorkload(const std::string &name, MachineKind kind,
+            const WorkloadOptions &opts)
+{
+    const auto &reg = workloadRegistry();
+    auto it = reg.find(name);
+    if (it == reg.end())
+        fatal("runWorkload: unknown workload '%s'", name.c_str());
+    return it->second(MachineConfig::make(kind), opts);
+}
+
+void
+harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles)
+{
+    res.kind = m.config().kind;
+    res.cycles = cycles;
+    res.breakdown = m.breakdown();
+    res.dramWords = m.mem().dram().wordsTransferred();
+    res.srfSeqWords = m.srf().seqWordsAccessed();
+    res.srfIdxWords = m.srf().idxInLaneWords() + m.srf().idxCrossWords();
+    res.cacheWords = m.mem().cache().hits();
+    res.kernelBw = m.kernelBw();
+}
+
+} // namespace isrf

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Common interface for the paper's benchmarks (§5.2).
+ *
+ * Each workload builds a stream program for a given machine
+ * configuration (Base / ISRF1 / ISRF4 / Cache), runs it on a fresh
+ * Machine, validates the functional output against an independent
+ * reference implementation, and reports timing/traffic statistics.
+ */
+#ifndef ISRF_WORKLOADS_WORKLOAD_H
+#define ISRF_WORKLOADS_WORKLOAD_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/stream_program.h"
+
+namespace isrf {
+
+/** Result of one benchmark run on one machine configuration. */
+struct WorkloadResult
+{
+    std::string workload;
+    MachineKind kind = MachineKind::Base;
+    uint64_t cycles = 0;
+    TimeBreakdown breakdown;
+    /** Off-chip DRAM words moved (Figure 11 metric). */
+    uint64_t dramWords = 0;
+    /** Cluster-side sequential SRF words accessed. */
+    uint64_t srfSeqWords = 0;
+    /** Indexed SRF words accessed (in-lane + cross-lane). */
+    uint64_t srfIdxWords = 0;
+    /** Words served by the vector cache (Cache machine only). */
+    uint64_t cacheWords = 0;
+    /** Per-kernel sustained SRF bandwidth records (Figure 13). */
+    std::map<std::string, KernelBwRecord> kernelBw;
+    /** Functional output matched the reference implementation. */
+    bool correct = false;
+    /** Workload-specific extras (strip sizes, schedule lengths, ...). */
+    std::map<std::string, double> extra;
+};
+
+/** Options shared by all workload runners. */
+struct WorkloadOptions
+{
+    /**
+     * Number of times the benchmark's steady-state body repeats,
+     * reproducing §5.3's "executed multiple times in software
+     * pipelined loops" assumption.
+     */
+    uint32_t repeats = 2;
+    uint64_t seed = 12345;
+    /** Override the machine's address/data separation (0 = default). */
+    uint32_t separationOverride = 0;
+};
+
+/** Signature of a workload runner. */
+using WorkloadRunner =
+    std::function<WorkloadResult(const MachineConfig &,
+                                 const WorkloadOptions &)>;
+
+/** Name -> runner registry used by the benchmark harnesses. */
+const std::map<std::string, WorkloadRunner> &workloadRegistry();
+
+/** Convenience: run a registered workload on a machine kind. */
+WorkloadResult runWorkload(const std::string &name, MachineKind kind,
+                           const WorkloadOptions &opts = {});
+
+/** Fill a WorkloadResult's common fields from a finished machine. */
+void harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the CACTI-lite area model and the energy model against the
+ * paper's §4.4/§4.6 reported bands.
+ */
+#include <gtest/gtest.h>
+
+#include "area/cacti_lite.h"
+#include "area/energy.h"
+
+namespace isrf {
+namespace {
+
+TEST(AreaModel, SequentialBreakdownSane)
+{
+    SrfAreaModel model;
+    AreaBreakdown seq = model.sequential();
+    EXPECT_GT(seq.total(), 0.0);
+    // Data cells must dominate a well-designed SRAM (>60%).
+    double cells = 0;
+    for (const auto &c : seq.components)
+        if (c.name == "data cells")
+            cells = c.um2;
+    EXPECT_GT(cells / seq.total(), 0.6);
+    // 128 KB of SRAM at 0.13um should be on the order of a few mm^2.
+    EXPECT_GT(seq.mm2(), 1.0);
+    EXPECT_LT(seq.mm2(), 10.0);
+}
+
+TEST(AreaModel, Isrf1OverheadInPaperBand)
+{
+    SrfAreaModel model;
+    double ovh = model.overheadOver(model.isrf1());
+    EXPECT_GE(ovh, 0.08);
+    EXPECT_LE(ovh, 0.14);  // paper: 11%
+}
+
+TEST(AreaModel, Isrf4OverheadInPaperBand)
+{
+    SrfAreaModel model;
+    double ovh = model.overheadOver(model.isrf4());
+    EXPECT_GE(ovh, 0.15);
+    EXPECT_LE(ovh, 0.21);  // paper: 18%
+}
+
+TEST(AreaModel, CrossLaneOverheadInPaperBand)
+{
+    SrfAreaModel model;
+    double ovh = model.overheadOver(model.crossLane());
+    EXPECT_GE(ovh, 0.19);
+    EXPECT_LE(ovh, 0.26);  // paper: 22%
+}
+
+TEST(AreaModel, OverheadsAreOrdered)
+{
+    SrfAreaModel model;
+    double o1 = model.overheadOver(model.isrf1());
+    double o4 = model.overheadOver(model.isrf4());
+    double oc = model.overheadOver(model.crossLane());
+    EXPECT_LT(o1, o4);
+    EXPECT_LT(o4, oc);
+}
+
+TEST(AreaModel, CacheOverheadInPaperBand)
+{
+    SrfAreaModel model;
+    double ovh = model.overheadOver(model.cache());
+    EXPECT_GE(ovh, 1.0);   // paper: 100%..150%
+    EXPECT_LE(ovh, 1.5);
+}
+
+TEST(AreaModel, DieFractionBand)
+{
+    // 11%-22% of the SRF, with the SRF ~13.6% of the Imagine die,
+    // lands in the paper's 1.5%-3% of total die area.
+    SrfAreaModel model;
+    double lo = model.dieFraction(model.overheadOver(model.isrf1()));
+    double hi = model.dieFraction(model.overheadOver(model.crossLane()));
+    EXPECT_GE(lo, 0.010);
+    EXPECT_LE(lo, 0.020);
+    EXPECT_GE(hi, 0.025);
+    EXPECT_LE(hi, 0.035);
+}
+
+TEST(EnergyModel, IndexedIsRoughlyFourTimesSequential)
+{
+    EnergyModel e;
+    EXPECT_NEAR(e.indexedToSeqRatio(), 4.0, 0.5);
+}
+
+TEST(EnergyModel, IndexedAccessOrderOfMagnitudeBelowDram)
+{
+    EnergyModel e;
+    // ~0.1 nJ vs ~5 nJ (§4.4): a factor of tens.
+    EXPECT_GE(e.dramToIndexedRatio(), 10.0);
+    EXPECT_NEAR(e.params().idxSrfPerWordPj, 100.0, 30.0);
+    EXPECT_NEAR(e.params().dramPerWordPj, 5000.0, 1000.0);
+}
+
+TEST(EnergyModel, EstimateAggregates)
+{
+    EnergyModel e;
+    EnergyCounts c;
+    c.seqSrfWords = 1000;
+    c.idxSrfWords = 100;
+    c.dramWords = 10;
+    EnergyEstimate est = e.estimate(c);
+    EXPECT_NEAR(est.seqSrfNj, 25.0, 1e-9);
+    EXPECT_NEAR(est.idxSrfNj, 10.0, 1e-9);
+    EXPECT_NEAR(est.dramNj, 50.0, 1e-9);
+    EXPECT_NEAR(est.totalNj(), 85.0, 1e-9);
+}
+
+} // namespace
+} // namespace isrf

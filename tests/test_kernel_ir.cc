@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the kernel IR: opcodes, evaluation, graph and builder.
+ */
+#include <gtest/gtest.h>
+
+#include "kernel/builder.h"
+#include "kernel/graph.h"
+#include "kernel/op.h"
+
+namespace isrf {
+namespace {
+
+TEST(OpInfo, TableConsistency)
+{
+    for (size_t i = 0; i < static_cast<size_t>(Opcode::NumOpcodes); i++) {
+        const OpInfo &info = opInfo(static_cast<Opcode>(i));
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_LE(info.arity, 3);
+    }
+    EXPECT_STREQ(opName(Opcode::FAdd), "fadd");
+    EXPECT_EQ(opInfo(Opcode::FDiv).fu, FuClass::Div);
+    EXPECT_FALSE(opInfo(Opcode::FDiv).pipelined);
+    EXPECT_TRUE(opInfo(Opcode::FMul).pipelined);
+}
+
+TEST(OpInfo, StreamPredicates)
+{
+    EXPECT_TRUE(opTouchesStream(Opcode::SeqRead));
+    EXPECT_TRUE(opTouchesStream(Opcode::IdxAddr));
+    EXPECT_FALSE(opTouchesStream(Opcode::IAdd));
+    EXPECT_TRUE(opIsIndexed(Opcode::IdxRead));
+    EXPECT_FALSE(opIsIndexed(Opcode::SeqRead));
+}
+
+TEST(EvalOp, IntegerArithmetic)
+{
+    EXPECT_EQ(evalOp(Opcode::IAdd, 3, 4, 0), 7u);
+    EXPECT_EQ(evalOp(Opcode::ISub, 3, 4, 0), static_cast<Word>(-1));
+    EXPECT_EQ(evalOp(Opcode::IMul, 6, 7, 0), 42u);
+    EXPECT_EQ(evalOp(Opcode::IAnd, 0xf0, 0x3c, 0), 0x30u);
+    EXPECT_EQ(evalOp(Opcode::IXor, 0xff, 0x0f, 0), 0xf0u);
+    EXPECT_EQ(evalOp(Opcode::IShl, 1, 5, 0), 32u);
+    EXPECT_EQ(evalOp(Opcode::IShr, 32, 5, 0), 1u);
+}
+
+TEST(EvalOp, FloatThroughBitcast)
+{
+    Word a = floatToWord(1.5f);
+    Word b = floatToWord(2.5f);
+    EXPECT_FLOAT_EQ(wordToFloat(evalOp(Opcode::FAdd, a, b, 0)), 4.0f);
+    EXPECT_FLOAT_EQ(wordToFloat(evalOp(Opcode::FMul, a, b, 0)), 3.75f);
+    EXPECT_FLOAT_EQ(wordToFloat(evalOp(Opcode::FDiv, b, a, 0)),
+                    2.5f / 1.5f);
+}
+
+TEST(EvalOp, CompareAndSelect)
+{
+    EXPECT_EQ(evalOp(Opcode::CmpLt, 1, 2, 0), 1u);
+    EXPECT_EQ(evalOp(Opcode::CmpLt, 2, 1, 0), 0u);
+    EXPECT_EQ(evalOp(Opcode::CmpLt, static_cast<Word>(-3), 1, 0), 1u)
+        << "signed comparison";
+    EXPECT_EQ(evalOp(Opcode::Select, 1, 10, 20), 10u);
+    EXPECT_EQ(evalOp(Opcode::Select, 0, 10, 20), 20u);
+}
+
+TEST(Builder, LookupKernelShape)
+{
+    // The Figure 10 lookup kernel: sequential in, indexed table, out.
+    KernelBuilder b("lookup");
+    auto in = b.seqIn("in");
+    auto lut = b.idxlIn("LUT");
+    auto out = b.seqOut("out");
+    auto a = b.read(in);
+    auto v = b.readIdx(lut, a);
+    b.write(out, b.iadd(a, v));
+    KernelGraph g = b.build();
+
+    EXPECT_EQ(g.streamSlots().size(), 3u);
+    EXPECT_EQ(g.countOps(Opcode::SeqRead), 1u);
+    EXPECT_EQ(g.countOps(Opcode::IdxAddr), 1u);
+    EXPECT_EQ(g.countOps(Opcode::IdxRead), 1u);
+    EXPECT_EQ(g.countOps(Opcode::SeqWrite), 1u);
+    EXPECT_EQ(g.countOps(Opcode::IAdd), 1u);
+}
+
+TEST(Builder, SeparationStretchesAddrToRead)
+{
+    KernelBuilder b("sep");
+    auto lut = b.idxlIn("t");
+    auto out = b.seqOut("o");
+    auto v = b.readIdx(lut, b.constInt(0));
+    b.write(out, v);
+    KernelGraph g = b.build();
+
+    for (uint32_t sep : {2u, 6u, 10u}) {
+        bool found = false;
+        for (const Edge &e : g.fullEdges(sep)) {
+            if (g.node(e.from).op == Opcode::IdxAddr &&
+                    g.node(e.to).op == Opcode::IdxRead) {
+                EXPECT_EQ(e.latency, sep);
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(Builder, CarryCreatesRecurrenceEdge)
+{
+    KernelBuilder b("rec");
+    auto out = b.seqOut("o");
+    auto prev = b.carryIn();
+    auto next = b.iadd(prev, b.constInt(1));
+    b.carryOut(prev, next, 1);
+    b.write(out, next);
+    KernelGraph g = b.build();
+
+    bool found = false;
+    for (const Edge &e : g.edges()) {
+        if (e.distance == 1)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Builder, FlopCount)
+{
+    KernelBuilder b("flops");
+    auto in = b.seqIn("i");
+    auto out = b.seqOut("o");
+    auto x = b.read(in);
+    auto y = b.fmul(x, x);
+    auto z = b.fadd(y, x);
+    b.write(out, b.iadd(z, x));  // integer op: not a flop
+    KernelGraph g = b.build();
+    EXPECT_EQ(g.flopCount(), 2u);
+}
+
+TEST(Graph, ValidateRejectsBadStreamSlot)
+{
+    KernelGraph g("bad");
+    Node n;
+    n.op = Opcode::SeqRead;
+    n.streamSlot = 5;  // no slots declared
+    g.addNode(n);
+    EXPECT_DEATH(g.validate(), "bad stream slot");
+}
+
+TEST(Graph, OperandMustBeDefinedBeforeUse)
+{
+    KernelGraph g("fwd");
+    Node n;
+    n.op = Opcode::IAdd;
+    n.operands[0] = 7;  // forward reference
+    n.operands[1] = 8;
+    EXPECT_DEATH(g.addNode(n), "not yet defined");
+}
+
+TEST(Builder, BuildTwiceDies)
+{
+    KernelBuilder b("twice");
+    auto out = b.seqOut("o");
+    b.write(out, b.constInt(1));
+    b.build();
+    EXPECT_DEATH(b.build(), "build");
+}
+
+} // namespace
+} // namespace isrf

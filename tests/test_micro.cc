@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests of the §5.4 microbenchmark drivers (Figures 17/18): bounds and
+ * monotonicity properties that the paper's curves rely on.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/micro.h"
+
+namespace isrf {
+namespace {
+
+InLaneMicroParams
+inl(uint32_t s, uint32_t fifo)
+{
+    InLaneMicroParams p;
+    p.subArrays = s;
+    p.fifoSize = fifo;
+    p.cycles = 6000;
+    return p;
+}
+
+TEST(InLaneMicro, ThroughputBounded)
+{
+    for (uint32_t s : {1u, 2u, 4u, 8u}) {
+        double t = inLaneRandomThroughput(inl(s, 8));
+        EXPECT_GT(t, 0.0);
+        EXPECT_LE(t, 4.0) << "cannot exceed 4 issued reads/cycle";
+        EXPECT_LE(t, static_cast<double>(s) + 0.01)
+            << "cannot exceed sub-array count";
+    }
+}
+
+TEST(InLaneMicro, ThroughputRisesWithSubArrays)
+{
+    double t1 = inLaneRandomThroughput(inl(1, 8));
+    double t2 = inLaneRandomThroughput(inl(2, 8));
+    double t4 = inLaneRandomThroughput(inl(4, 8));
+    double t8 = inLaneRandomThroughput(inl(8, 8));
+    EXPECT_LT(t1, t2);
+    EXPECT_LT(t2, t4);
+    EXPECT_LT(t4, t8);
+}
+
+TEST(InLaneMicro, ThroughputRisesWithFifoSize)
+{
+    double f1 = inLaneRandomThroughput(inl(4, 1));
+    double f8 = inLaneRandomThroughput(inl(4, 8));
+    EXPECT_LT(f1 * 1.2, f8)
+        << "larger FIFOs absorb conflicts (Figure 17)";
+}
+
+TEST(InLaneMicro, UtilizationFallsWithSubArrays)
+{
+    // Head-of-line blocking: per-sub-array utilization drops at 8.
+    double u4 = inLaneRandomThroughput(inl(4, 8)) / 4.0;
+    double u8 = inLaneRandomThroughput(inl(8, 8)) / 8.0;
+    EXPECT_GT(u4, u8);
+}
+
+TEST(InLaneMicro, DeterministicForSeed)
+{
+    EXPECT_DOUBLE_EQ(inLaneRandomThroughput(inl(4, 4)),
+                     inLaneRandomThroughput(inl(4, 4)));
+}
+
+CrossLaneMicroParams
+cro(uint32_t ports, double occ)
+{
+    CrossLaneMicroParams p;
+    p.netPortsPerBank = ports;
+    p.commOccupancy = occ;
+    p.cycles = 6000;
+    return p;
+}
+
+TEST(CrossLaneMicro, ThroughputBounded)
+{
+    for (uint32_t ports : {1u, 2u, 4u}) {
+        double t = crossLaneRandomThroughput(cro(ports, 0));
+        EXPECT_GT(t, 0.0);
+        EXPECT_LE(t, 1.0) << "peak cross-lane BW is 1 word/cycle/lane";
+    }
+}
+
+TEST(CrossLaneMicro, SecondPortHelpsMoreThanFourth)
+{
+    double p1 = crossLaneRandomThroughput(cro(1, 0));
+    double p2 = crossLaneRandomThroughput(cro(2, 0));
+    double p4 = crossLaneRandomThroughput(cro(4, 0));
+    EXPECT_GT(p2, p1 * 1.2) << "1->2 ports is a significant gain";
+    EXPECT_LT(p4 / p2, p2 / p1) << "2->4 ports is marginal (§5.4)";
+}
+
+TEST(CrossLaneMicro, ModerateOccupancyCostsUnder20Percent)
+{
+    // §5.4: "the reduction in cross-lane SRF throughput is 20% or less
+    // for a wide range of inter-cluster communication traffic loads".
+    double base = crossLaneRandomThroughput(cro(1, 0));
+    for (double occ : {0.2, 0.4, 0.6}) {
+        double t = crossLaneRandomThroughput(cro(1, occ));
+        EXPECT_GT(t, 0.8 * base) << "occupancy " << occ;
+    }
+}
+
+TEST(CrossLaneMicro, HeavyOccupancyDegrades)
+{
+    double base = crossLaneRandomThroughput(cro(4, 0));
+    double heavy = crossLaneRandomThroughput(cro(4, 0.8));
+    EXPECT_LT(heavy, base);
+}
+
+} // namespace
+} // namespace isrf

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * StreamProgram runtime tests: dependency inference, out-of-order
+ * issue, load->kernel->store pipelines, and memory/compute overlap.
+ */
+#include <gtest/gtest.h>
+
+#include "core/stream_program.h"
+#include "test_helpers.h"
+
+namespace isrf {
+namespace {
+
+MachineConfig
+smallConfig(MachineKind kind = MachineKind::Base)
+{
+    MachineConfig cfg = MachineConfig::make(kind);
+    cfg.dram.capacityWords = 1 << 18;
+    return cfg;
+}
+
+TEST(StreamProgram, LoadKernelStoreRoundtrip)
+{
+    Machine m;
+    m.init(smallConfig());
+    std::vector<Word> input(512);
+    for (size_t i = 0; i < input.size(); i++)
+        input[i] = static_cast<Word>(i * 11 + 1);
+    m.mem().dram().fill(0, input);
+
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 512);
+    SlotId out = prog.addStream("out", 512);
+    prog.load(in, 0);
+    KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, input));
+    prog.store(out, 4096);
+    uint64_t cycles = prog.run();
+    EXPECT_GT(cycles, 0u);
+    EXPECT_EQ(m.mem().dram().dump(4096, 512), input);
+    // Load + store cross the pins exactly once each.
+    EXPECT_EQ(m.mem().dram().wordsTransferred(), 1024u);
+}
+
+TEST(StreamProgram, DependenciesSerializeRawWarWaw)
+{
+    Machine m;
+    m.init(smallConfig());
+    std::vector<Word> a(256, 1), b(256, 2);
+    m.mem().dram().fill(0, a);
+    m.mem().dram().fill(1000, b);
+
+    StreamProgram prog(m);
+    SlotId s = prog.addStream("s", 256);
+    // WAW: two loads into the same slot; the second must win.
+    prog.load(s, 0);
+    prog.load(s, 1000);
+    prog.store(s, 2000);
+    prog.run();
+    EXPECT_EQ(m.mem().dram().dump(2000, 256), b);
+}
+
+TEST(StreamProgram, ExplicitDependency)
+{
+    Machine m;
+    m.init(smallConfig());
+    std::vector<Word> a(64, 7);
+    m.mem().dram().fill(0, a);
+    StreamProgram prog(m);
+    SlotId x = prog.addStream("x", 64);
+    SlotId y = prog.addStream("y", 64);
+    ProgOpId l1 = prog.load(x, 0);
+    // y's load would otherwise run concurrently; force it after l1.
+    ProgOpId l2 = prog.load(y, 0);
+    prog.dependsOn(l2, l1);
+    prog.run();
+    EXPECT_EQ(prog.dumpStream(y), a);
+}
+
+TEST(StreamProgram, MemoryOverlapsKernels)
+{
+    // Two independent chains: load A -> kernel A while load B proceeds.
+    // Total time must be well below the serial sum.
+    Machine m;
+    m.init(smallConfig());
+    std::vector<Word> data(2048);
+    for (size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<Word>(i);
+    m.mem().dram().fill(0, data);
+
+    KernelGraph g = test::makeCopyKernel();
+
+    StreamProgram prog(m);
+    SlotId inA = prog.addStream("inA", 2048);
+    SlotId outA = prog.addStream("outA", 2048);
+    SlotId inB = prog.addStream("inB", 2048);
+    SlotId outB = prog.addStream("outB", 2048);
+    prog.load(inA, 0);
+    prog.kernel(test::makeCopyInvocation(m, &g, inA, outA, data));
+    prog.store(outA, 8192);
+    prog.load(inB, 0);
+    prog.kernel(test::makeCopyInvocation(m, &g, inB, outB, data));
+    prog.store(outB, 16384);
+    uint64_t cycles = prog.run();
+
+    // Serial lower bound for the memory ops alone: 4 x 2048 words at
+    // ~2.285 words/cycle = ~3585 cycles. With overlap, the whole thing
+    // should be well under load+kernel+store fully serialized.
+    Machine m2;
+    m2.init(smallConfig());
+    m2.mem().dram().fill(0, data);
+    StreamProgram serial(m2);
+    SlotId sIn = serial.addStream("in", 2048);
+    SlotId sOut = serial.addStream("out", 2048);
+    serial.load(sIn, 0);
+    serial.kernel(test::makeCopyInvocation(m2, &g, sIn, sOut, data));
+    uint64_t serialOne = serial.run();
+    EXPECT_LT(cycles, 2 * serialOne + 2 * 2048);
+
+    EXPECT_EQ(m.mem().dram().dump(8192, 2048), data);
+    EXPECT_EQ(m.mem().dram().dump(16384, 2048), data);
+}
+
+TEST(StreamProgram, MemStallAccountedWhenKernelWaitsOnLoad)
+{
+    Machine m;
+    m.init(smallConfig());
+    std::vector<Word> data(4096, 5);
+    m.mem().dram().fill(0, data);
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 4096);
+    SlotId out = prog.addStream("out", 4096);
+    prog.load(in, 0);
+    KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, data));
+    prog.run();
+    // The kernel cannot start until the load finishes: those cycles are
+    // memory stalls.
+    EXPECT_GT(m.breakdown().memStall, 1000u);
+}
+
+TEST(StreamProgram, GatherFeedsKernel)
+{
+    Machine m;
+    m.init(smallConfig());
+    std::vector<Word> table(1024);
+    for (size_t i = 0; i < table.size(); i++)
+        table[i] = static_cast<Word>(i ^ 0xff);
+    m.mem().dram().fill(0, table);
+
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 128);
+    SlotId out = prog.addStream("out", 128);
+    std::vector<uint32_t> idx(128);
+    Rng rng(17);
+    std::vector<Word> gathered(128);
+    for (size_t i = 0; i < idx.size(); i++) {
+        idx[i] = static_cast<uint32_t>(rng.below(1024));
+        gathered[i] = table[idx[i]];
+    }
+    prog.gather(in, 0, idx);
+    KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, gathered));
+    prog.run();
+    EXPECT_EQ(prog.dumpStream(out), gathered);
+}
+
+TEST(StreamProgram, AllocatorExhaustionIsFatal)
+{
+    Machine m;
+    m.init(smallConfig());
+    StreamProgram prog(m);
+    // 8 lanes x 4096 words = 32K words total; ask for too much.
+    prog.addStream("big", 30000);
+    EXPECT_DEATH(prog.addStream("huge", 30000), "allocation failed");
+}
+
+TEST(StreamProgram, SlotsReleasedOnDestruction)
+{
+    Machine m;
+    m.init(smallConfig());
+    for (int round = 0; round < 3; round++) {
+        StreamProgram prog(m);
+        for (int i = 0; i < 20; i++) {
+            prog.addStream("s" + std::to_string(i), 64);
+        }
+        m.allocator().reset();
+    }
+    SUCCEED();  // would die on slot exhaustion if slots leaked
+}
+
+} // namespace
+} // namespace isrf
+
+namespace isrf {
+namespace {
+
+TEST(StreamProgram, AliasSharesStorageWithIndependentBuffers)
+{
+    Machine m;
+    MachineConfig cfg = MachineConfig::isrf4();
+    cfg.dram.capacityWords = 1 << 16;
+    m.init(cfg);
+    StreamProgram prog(m);
+    SlotId a = prog.addStream("orig", 256, StreamLayout::Striped,
+                              StreamDir::In, true);
+    SlotId b = prog.addStreamAlias("view", a);
+    EXPECT_NE(a, b);
+    // Same storage region...
+    EXPECT_EQ(m.srf().slotConfig(a).base, m.srf().slotConfig(b).base);
+    std::vector<Word> data(256);
+    for (size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<Word>(i + 9);
+    prog.fillStream(a, data);
+    EXPECT_EQ(prog.dumpStream(b), data);
+    // ...but independent buffer state: reading via the alias does not
+    // disturb the original's cursors.
+    m.srf().configureSlotBinding(b, StreamDir::In, true, false);
+    Cycle now = 0;
+    m.srf().beginCycle(now);
+    ASSERT_TRUE(m.srf().idxIssueRead(0, b, 1));
+    m.srf().endCycle(now);
+    EXPECT_EQ(m.srf().idxOutstanding(0, a), 0u);
+    // The request sits in the alias's FIFO and data buffer.
+    EXPECT_EQ(m.srf().idxOutstanding(0, b), 2u);
+}
+
+TEST(MachineConfigValidate, RejectsInconsistentCombos)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.mem.cacheEnabled = true;  // cache on a non-Cache machine
+    EXPECT_DEATH(cfg.validate(), "cache enabled");
+
+    MachineConfig c2 = MachineConfig::cacheCfg();
+    c2.mem.cacheEnabled = false;
+    EXPECT_DEATH(c2.validate(), "without cache");
+
+    MachineConfig c3 = MachineConfig::isrf4();
+    c3.srf.laneWords = 4097;  // not a multiple of seqWidth
+    EXPECT_DEATH(c3.validate(), "multiple of seqWidth");
+
+    MachineConfig c4 = MachineConfig::base();
+    c4.srfMode = SrfMode::Indexed4;  // mode/kind mismatch
+    EXPECT_DEATH(c4.validate(), "inconsistent");
+}
+
+} // namespace
+} // namespace isrf

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests of the workload functional layers against independent
+ * references: FFT vs direct DFT, AES vs FIPS-197, S-box/GF algebra,
+ * convolution, graph generation, and the Table 4 strip-size model.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/random.h"
+#include "workloads/fft.h"
+#include "workloads/filter.h"
+#include "workloads/igraph.h"
+#include "workloads/rijndael.h"
+
+namespace isrf {
+namespace {
+
+// ----------------------------------------------------------------------
+// FFT
+// ----------------------------------------------------------------------
+
+TEST(FftRef, BitReverse)
+{
+    EXPECT_EQ(bitReverse(0, 6), 0u);
+    EXPECT_EQ(bitReverse(1, 6), 32u);
+    EXPECT_EQ(bitReverse(0b101101, 6), 0b101101u);
+    EXPECT_EQ(bitReverse(0b100000, 6), 1u);
+    for (uint32_t v = 0; v < 64; v++)
+        EXPECT_EQ(bitReverse(bitReverse(v, 6), 6), v);
+}
+
+TEST(FftRef, Fft1dMatchesDirectDft)
+{
+    Rng rng(1);
+    std::vector<Cplx> a(64);
+    for (auto &c : a)
+        c = Cplx(rng.uniformf(-1, 1), rng.uniformf(-1, 1));
+    auto fast = fft1d(a);
+    auto slow = dft1dReference(a);
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_NEAR(fast[i].real(), slow[i].real(), 1e-3f) << i;
+        EXPECT_NEAR(fast[i].imag(), slow[i].imag(), 1e-3f) << i;
+    }
+}
+
+TEST(FftRef, Fft1dOfImpulseIsFlat)
+{
+    std::vector<Cplx> a(32, Cplx(0, 0));
+    a[0] = Cplx(1, 0);
+    auto f = fft1d(a);
+    for (const auto &c : f) {
+        EXPECT_NEAR(c.real(), 1.0f, 1e-5f);
+        EXPECT_NEAR(c.imag(), 0.0f, 1e-5f);
+    }
+}
+
+TEST(FftRef, Fft1dOfConstantIsImpulse)
+{
+    std::vector<Cplx> a(32, Cplx(1, 0));
+    auto f = fft1d(a);
+    EXPECT_NEAR(f[0].real(), 32.0f, 1e-3f);
+    for (size_t i = 1; i < f.size(); i++)
+        EXPECT_NEAR(std::abs(f[i]), 0.0f, 1e-3f);
+}
+
+TEST(FftRef, LinearityProperty)
+{
+    Rng rng(2);
+    std::vector<Cplx> a(64), b(64), sum(64);
+    for (size_t i = 0; i < 64; i++) {
+        a[i] = Cplx(rng.uniformf(-1, 1), rng.uniformf(-1, 1));
+        b[i] = Cplx(rng.uniformf(-1, 1), rng.uniformf(-1, 1));
+        sum[i] = a[i] + b[i];
+    }
+    auto fa = fft1d(a), fb = fft1d(b), fs = fft1d(sum);
+    for (size_t i = 0; i < 64; i++)
+        EXPECT_NEAR(std::abs(fs[i] - fa[i] - fb[i]), 0.0f, 1e-3f);
+}
+
+TEST(FftRef, ParsevalProperty2d)
+{
+    Rng rng(3);
+    const uint32_t n = 16;
+    std::vector<Cplx> a(n * n);
+    double timeEnergy = 0;
+    for (auto &c : a) {
+        c = Cplx(rng.uniformf(-1, 1), rng.uniformf(-1, 1));
+        timeEnergy += std::norm(c);
+    }
+    auto f = fft2dReference(a, n);
+    double freqEnergy = 0;
+    for (const auto &c : f)
+        freqEnergy += std::norm(c);
+    EXPECT_NEAR(freqEnergy / (n * n), timeEnergy,
+                1e-3 * timeEnergy + 1e-6);
+}
+
+// ----------------------------------------------------------------------
+// AES / Rijndael
+// ----------------------------------------------------------------------
+
+TEST(AesRef, GfMulBasics)
+{
+    EXPECT_EQ(aesGfMul(0x57, 0x01), 0x57);
+    EXPECT_EQ(aesGfMul(0x57, 0x02), 0xae);
+    EXPECT_EQ(aesGfMul(0x57, 0x13), 0xfe);  // FIPS-197 example
+    EXPECT_EQ(aesGfMul(0, 0xff), 0);
+}
+
+TEST(AesRef, SboxKnownValues)
+{
+    const auto &sb = aesSbox();
+    EXPECT_EQ(sb[0x00], 0x63);
+    EXPECT_EQ(sb[0x01], 0x7c);
+    EXPECT_EQ(sb[0x53], 0xed);
+    EXPECT_EQ(sb[0xff], 0x16);
+}
+
+TEST(AesRef, SboxIsAPermutation)
+{
+    const auto &sb = aesSbox();
+    std::vector<int> seen(256, 0);
+    for (int i = 0; i < 256; i++)
+        seen[sb[i]]++;
+    for (int i = 0; i < 256; i++)
+        EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(AesRef, TeTablesDeriveFromSbox)
+{
+    const auto &sb = aesSbox();
+    for (int x = 0; x < 256; x += 17) {
+        uint32_t t0 = aesTe(0)[x];
+        uint8_t s = sb[x];
+        EXPECT_EQ((t0 >> 16) & 0xff, s);
+        EXPECT_EQ((t0 >> 24) & 0xff, aesGfMul(s, 2));
+        EXPECT_EQ(t0 & 0xff, static_cast<uint32_t>(aesGfMul(s, 2) ^ s));
+        // Tei are byte rotations of each other's layout.
+        EXPECT_EQ((aesTe(1)[x] >> 24) & 0xff,
+                  static_cast<uint32_t>(aesGfMul(s, 2) ^ s));
+    }
+}
+
+TEST(AesRef, Fips197AppendixB)
+{
+    // Key 2b7e...3c, plaintext 3243f6a8885a308d313198a2e0370734.
+    std::array<uint8_t, 16> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                   0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                   0x09, 0xcf, 0x4f, 0x3c};
+    std::array<uint8_t, 16> pt = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a,
+                                  0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2,
+                                  0xe0, 0x37, 0x07, 0x34};
+    const uint8_t expect[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc,
+                                0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97,
+                                0x19, 0x6a, 0x0b, 0x32};
+    auto ct = aesEncryptBlock128(aesExpandKey128(key), pt);
+    EXPECT_EQ(std::memcmp(ct.data(), expect, 16), 0);
+}
+
+TEST(AesRef, Fips197AppendixC1)
+{
+    std::array<uint8_t, 16> key{}, pt{};
+    for (int i = 0; i < 16; i++) {
+        key[i] = static_cast<uint8_t>(i);
+        pt[i] = static_cast<uint8_t>(0x11 * i);
+    }
+    const uint8_t expect[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b,
+                                0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80,
+                                0x70, 0xb4, 0xc5, 0x5a};
+    auto ct = aesEncryptBlock128(aesExpandKey128(key), pt);
+    EXPECT_EQ(std::memcmp(ct.data(), expect, 16), 0);
+}
+
+TEST(AesRef, KeyExpansionFirstAndLastWords)
+{
+    // FIPS-197 A.1 expansion of 2b7e...3c.
+    std::array<uint8_t, 16> key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                                   0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                                   0x09, 0xcf, 0x4f, 0x3c};
+    auto rk = aesExpandKey128(key);
+    EXPECT_EQ(rk[0], 0x2b7e1516u);
+    EXPECT_EQ(rk[4], 0xa0fafe17u);
+    EXPECT_EQ(rk[43], 0xb6630ca6u);
+}
+
+TEST(AesRef, CbcChainsBlocks)
+{
+    std::array<uint8_t, 16> key{}, iv{};
+    for (int i = 0; i < 16; i++)
+        key[i] = static_cast<uint8_t>(i * 3);
+    std::vector<std::array<uint8_t, 16>> blocks(3);
+    auto out1 = aesCbcEncrypt128(key, iv, blocks);
+    // With identical plaintext blocks, CBC ciphertexts must differ.
+    EXPECT_NE(out1[0], out1[1]);
+    EXPECT_NE(out1[1], out1[2]);
+    // ECB equivalence for the first block with a zero IV.
+    auto ecb = aesEncryptBlock128(aesExpandKey128(key), blocks[0]);
+    EXPECT_EQ(out1[0], ecb);
+}
+
+TEST(AesRef, TraceRecords160LookupsPerBlock)
+{
+    std::array<uint8_t, 16> key{}, pt{};
+    std::vector<std::array<uint8_t, 16>> idx;
+    std::vector<std::array<uint32_t, 4>> st;
+    aesEncryptBlock128(aesExpandKey128(key), pt, &idx, &st);
+    EXPECT_EQ(idx.size(), 10u);  // 10 rounds x 16 indices
+    EXPECT_EQ(st.size(), 10u);
+}
+
+// ----------------------------------------------------------------------
+// Filter
+// ----------------------------------------------------------------------
+
+TEST(FilterRef, TapsSumToOne)
+{
+    float sum = 0;
+    for (int dr = -2; dr <= 2; dr++)
+        for (int dc = -2; dc <= 2; dc++)
+            sum += filterTap(dr, dc);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(FilterRef, ConstantImageIsFixedPoint)
+{
+    std::vector<float> img(64 * 64, 3.5f);
+    auto out = conv5x5Reference(img, 64);
+    for (float v : out)
+        EXPECT_NEAR(v, 3.5f, 1e-4f);
+}
+
+TEST(FilterRef, SmoothingReducesRange)
+{
+    Rng rng(4);
+    std::vector<float> img(64 * 64);
+    for (auto &p : img)
+        p = rng.uniformf(0, 1);
+    auto out = conv5x5Reference(img, 64);
+    auto [inMin, inMax] = std::minmax_element(img.begin(), img.end());
+    auto [outMin, outMax] = std::minmax_element(out.begin(), out.end());
+    EXPECT_GE(*outMin, *inMin - 1e-5f);
+    EXPECT_LE(*outMax, *inMax + 1e-5f);
+    EXPECT_LT(*outMax - *outMin, *inMax - *inMin);
+}
+
+// ----------------------------------------------------------------------
+// Irregular graph
+// ----------------------------------------------------------------------
+
+TEST(IgRef, DatasetsMatchTable4Parameters)
+{
+    ASSERT_EQ(igDatasets().size(), 4u);
+    EXPECT_EQ(igDataset("IG_SML").fpOpsPerNeighbor, 16u);
+    EXPECT_EQ(igDataset("IG_SML").avgDegree, 4u);
+    EXPECT_EQ(igDataset("IG_SCL").fpOpsPerNeighbor, 51u);
+    EXPECT_EQ(igDataset("IG_DMS").avgDegree, 16u);
+    EXPECT_EQ(igDataset("IG_DCS").fpOpsPerNeighbor, 51u);
+    EXPECT_DEATH(igDataset("IG_XXX"), "unknown dataset");
+}
+
+TEST(IgRef, GeneratedDegreeNearTarget)
+{
+    for (const auto &ds : igDatasets()) {
+        IgGraph g = igGenerate(ds, 99);
+        double avg = static_cast<double>(g.edges()) / g.nodes;
+        EXPECT_NEAR(avg, ds.avgDegree, 0.2 * ds.avgDegree) << ds.name;
+        for (uint32_t i = 0; i < g.nodes; i += 101)
+            for (uint32_t nb : g.adj[i])
+                EXPECT_LT(nb, g.nodes);
+    }
+}
+
+TEST(IgRef, GenerationIsDeterministic)
+{
+    IgGraph a = igGenerate(igDataset("IG_SML"), 7);
+    IgGraph b = igGenerate(igDataset("IG_SML"), 7);
+    EXPECT_EQ(a.adj, b.adj);
+    IgGraph c = igGenerate(igDataset("IG_SML"), 8);
+    EXPECT_NE(a.adj, c.adj);
+}
+
+TEST(IgRef, StripSizesRoughlyDoubleForIndexed)
+{
+    for (const auto &ds : igDatasets()) {
+        IgStripSizes s = igStripSizes(ds);
+        double ratio = static_cast<double>(s.indexedNeighbors) /
+            s.baseNeighbors;
+        EXPECT_GE(ratio, 1.5) << ds.name;
+        EXPECT_LE(ratio, 2.5) << ds.name;
+    }
+    // Sparse long-strip datasets land near the paper's 1163/2316.
+    IgStripSizes sml = igStripSizes(igDataset("IG_SML"));
+    EXPECT_NEAR(sml.baseNeighbors, 1163, 120);
+    EXPECT_NEAR(sml.indexedNeighbors, 2316, 300);
+}
+
+TEST(IgRef, ReferenceUpdateUsesNeighbors)
+{
+    IgGraph g;
+    g.nodes = 3;
+    g.adj = {{1, 2}, {0}, {0}};
+    std::vector<float> vals = {1.0f, 2.0f, 4.0f};
+    auto out = igReferenceUpdate(g, vals);
+    // node 0: 0.3*1 + 0.7*(0.625*2 + 0.625*4)
+    EXPECT_NEAR(out[0], 0.3f + 0.7f * 0.625f * 6.0f, 1e-5f);
+    EXPECT_NEAR(out[1], 0.3f * 2 + 0.7f * 0.625f * 1.0f, 1e-5f);
+}
+
+} // namespace
+} // namespace isrf

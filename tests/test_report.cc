@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the machine report module and its energy-count harvesting.
+ */
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "core/stream_program.h"
+#include "test_helpers.h"
+
+namespace isrf {
+namespace {
+
+TEST(Report, ContainsAllSections)
+{
+    MachineConfig cfg = MachineConfig::isrf4();
+    cfg.dram.capacityWords = 1 << 16;
+    Machine m;
+    m.init(cfg);
+    std::vector<Word> data(256, 3);
+    m.mem().dram().fill(0, data);
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 256);
+    SlotId out = prog.addStream("out", 256);
+    prog.load(in, 0);
+    KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, data));
+    prog.run();
+
+    std::string rep = machineReport(m);
+    EXPECT_NE(rep.find("Machine: ISRF4"), std::string::npos);
+    EXPECT_NE(rep.find("lane-cycles"), std::string::npos);
+    EXPECT_NE(rep.find("dram: words="), std::string::npos);
+    EXPECT_NE(rep.find("copy"), std::string::npos) << "kernel table";
+    EXPECT_NE(rep.find("energy: total="), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled)
+{
+    Machine m;
+    MachineConfig cfg = MachineConfig::base();
+    cfg.dram.capacityWords = 1 << 16;
+    m.init(cfg);
+    ReportOptions opts;
+    opts.includeEnergy = false;
+    opts.includeKernels = false;
+    std::string rep = machineReport(m, opts);
+    EXPECT_EQ(rep.find("energy:"), std::string::npos);
+}
+
+TEST(Report, EnergyCountsMatchMachineCounters)
+{
+    Machine m;
+    MachineConfig cfg = MachineConfig::base();
+    cfg.dram.capacityWords = 1 << 16;
+    m.init(cfg);
+    EnergyCounts c = energyCounts(m);
+    EXPECT_EQ(c.seqSrfWords, 0u);
+    EXPECT_EQ(c.dramWords, 0u);
+}
+
+TEST(Report, CacheSectionOnlyOnCacheMachine)
+{
+    Machine m;
+    MachineConfig cfg = MachineConfig::cacheCfg();
+    cfg.dram.capacityWords = 1 << 16;
+    m.init(cfg);
+    std::string rep = machineReport(m);
+    EXPECT_NE(rep.find("cache: hits="), std::string::npos);
+
+    Machine b;
+    MachineConfig bc = MachineConfig::base();
+    bc.dram.capacityWords = 1 << 16;
+    b.init(bc);
+    EXPECT_EQ(machineReport(b).find("cache: hits="), std::string::npos);
+}
+
+} // namespace
+} // namespace isrf

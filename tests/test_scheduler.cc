@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the iterative modulo scheduler, including the property
+ * checks that every schedule respects dependence and resource
+ * constraints, and the Figure 14 behaviour: schedule length of kernels
+ * with loop-carried index dependencies grows with the address/data
+ * separation while software-pipelineable kernels stay flat.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kernel/builder.h"
+#include "kernel/scheduler.h"
+
+namespace isrf {
+namespace {
+
+/** A simple FIR-ish kernel with no recurrences. */
+KernelGraph
+makeStraightKernel()
+{
+    KernelBuilder b("straight");
+    auto in = b.seqIn("in");
+    auto out = b.seqOut("out");
+    auto x = b.read(in);
+    auto c = b.constFloat(1.5f);
+    auto y = b.fmul(x, c);
+    auto z = b.fadd(y, x);
+    b.write(out, z);
+    return b.build();
+}
+
+/** An indexed-lookup kernel whose index is on a recurrence. */
+KernelGraph
+makeRecurrentLookup()
+{
+    KernelBuilder b("rec_lookup");
+    auto in = b.seqIn("in");
+    auto lut = b.idxlIn("lut");
+    auto out = b.seqOut("out");
+    auto prev = b.carryIn();
+    auto x = b.read(in);
+    auto idx = b.ixor(x, prev);
+    auto v = b.readIdx(lut, idx);
+    b.carryOut(prev, v, 1);
+    b.write(out, v);
+    return b.build();
+}
+
+/** An indexed-lookup kernel with no recurrence (pipelineable). */
+KernelGraph
+makeFreeLookup()
+{
+    KernelBuilder b("free_lookup");
+    auto in = b.seqIn("in");
+    auto lut = b.idxlIn("lut");
+    auto out = b.seqOut("out");
+    auto x = b.read(in);
+    auto v = b.readIdx(lut, x);
+    b.write(out, b.iadd(v, x));
+    return b.build();
+}
+
+/** Verify every dependence edge and resource constraint in a schedule. */
+void
+checkScheduleLegal(const KernelGraph &g, const KernelSchedule &s,
+                   const ClusterResources &res, uint32_t sep)
+{
+    ASSERT_EQ(s.opCycle.size(), g.nodeCount());
+    // Dependences: sched[to] >= sched[from] + lat - II*dist.
+    for (const Edge &e : g.fullEdges(sep)) {
+        int64_t lhs = static_cast<int64_t>(s.opCycle[e.to]);
+        int64_t rhs = static_cast<int64_t>(s.opCycle[e.from]) +
+            static_cast<int64_t>(e.latency) -
+            static_cast<int64_t>(s.ii) * static_cast<int64_t>(e.distance);
+        EXPECT_GE(lhs, rhs) << "edge " << e.from << "->" << e.to;
+    }
+    // Resources: per modulo slot occupancy within capacity.
+    std::map<std::pair<int, uint32_t>, uint32_t> use;  // (class, slot)
+    for (NodeId id = 0; id < g.nodeCount(); id++) {
+        const OpInfo &info = opInfo(g.node(id).op);
+        if (info.fu == FuClass::None)
+            continue;
+        uint32_t dur = info.pipelined ? 1 : info.latency;
+        for (uint32_t d = 0; d < dur; d++) {
+            uint32_t slot = (s.opCycle[id] + d) % s.ii;
+            use[{static_cast<int>(info.fu), slot}]++;
+        }
+    }
+    for (const auto &kv : use) {
+        uint32_t cap = 0;
+        switch (static_cast<FuClass>(kv.first.first)) {
+          case FuClass::Alu: cap = res.aluSlots; break;
+          case FuClass::Div: cap = res.divSlots; break;
+          case FuClass::Comm: cap = res.commSlots; break;
+          case FuClass::Sbuf: cap = res.sbufSlots; break;
+          case FuClass::Sp: cap = res.spSlots; break;
+          default: cap = 1; break;
+        }
+        EXPECT_LE(kv.second, cap);
+    }
+}
+
+TEST(Scheduler, StraightKernelSchedules)
+{
+    KernelGraph g = makeStraightKernel();
+    ClusterResources res;
+    ModuloScheduler sched(res);
+    KernelSchedule s = sched.schedule(g, 6);
+    EXPECT_GE(s.ii, 1u);
+    EXPECT_GE(s.length, s.ii);
+    checkScheduleLegal(g, s, res, 6);
+}
+
+TEST(Scheduler, ResourceMinIIFromAluDemand)
+{
+    // 9 ALU ops over 4 slots -> ResMII >= 3.
+    KernelBuilder b("alus");
+    auto out = b.seqOut("o");
+    Value v = b.constInt(1);
+    for (int i = 0; i < 9; i++)
+        v = b.iadd(v, v);
+    b.write(out, v);
+    KernelGraph g = b.build();
+    ModuloScheduler sched;
+    EXPECT_GE(sched.resourceMinII(g), 3u);
+}
+
+TEST(Scheduler, UnpipelinedDividerDominatesII)
+{
+    KernelBuilder b("div");
+    auto in = b.seqIn("i");
+    auto out = b.seqOut("o");
+    auto x = b.read(in);
+    b.write(out, b.fdiv(x, x));
+    KernelGraph g = b.build();
+    ModuloScheduler sched;
+    // One unpipelined 17-cycle divide occupies the divider 17 cycles.
+    EXPECT_GE(sched.resourceMinII(g), 17u);
+    KernelSchedule s = sched.schedule(g, 6);
+    EXPECT_GE(s.ii, 17u);
+}
+
+TEST(Scheduler, RecurrenceMinIIGrowsWithSeparation)
+{
+    KernelGraph g = makeRecurrentLookup();
+    ModuloScheduler sched;
+    uint32_t prev = 0;
+    for (uint32_t sep : {2u, 4u, 6u, 8u, 10u}) {
+        uint32_t mii = sched.recurrenceMinII(g, sep);
+        EXPECT_GE(mii, prev);
+        prev = mii;
+    }
+    // The recurrence includes the separation edge, so RecMII must be at
+    // least sep for large sep.
+    EXPECT_GE(sched.recurrenceMinII(g, 10), 10u);
+}
+
+TEST(Scheduler, Figure14Shape)
+{
+    // Loop-carried kernel: II grows ~linearly with separation.
+    // Free kernel: II stays flat.
+    KernelGraph rec = makeRecurrentLookup();
+    KernelGraph free = makeFreeLookup();
+    ModuloScheduler sched;
+    uint32_t recIi2 = sched.schedule(rec, 2).ii;
+    uint32_t recIi10 = sched.schedule(rec, 10).ii;
+    uint32_t freeIi2 = sched.schedule(free, 2).ii;
+    uint32_t freeIi10 = sched.schedule(free, 10).ii;
+    EXPECT_GT(recIi10, recIi2);
+    EXPECT_GE(recIi10, 10u);
+    EXPECT_EQ(freeIi2, freeIi10);
+}
+
+TEST(Scheduler, SeparationIncreasesFlatLengthNotII)
+{
+    KernelGraph g = makeFreeLookup();
+    ModuloScheduler sched;
+    KernelSchedule s2 = sched.schedule(g, 2);
+    KernelSchedule s10 = sched.schedule(g, 10);
+    EXPECT_EQ(s2.ii, s10.ii);
+    EXPECT_GT(s10.length, s2.length);
+    EXPECT_GT(s10.stages(), s2.stages());
+}
+
+class ScheduleLegality : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ScheduleLegality, AllKernelsLegalAtSeparation)
+{
+    uint32_t sep = GetParam();
+    ClusterResources res;
+    ModuloScheduler sched(res);
+    for (auto maker : {makeStraightKernel, makeRecurrentLookup,
+                       makeFreeLookup}) {
+        KernelGraph g = maker();
+        KernelSchedule s = sched.schedule(g, sep);
+        checkScheduleLegal(g, s, res, sep);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, ScheduleLegality,
+                         ::testing::Values(2, 4, 6, 8, 10, 16, 20, 24));
+
+TEST(Scheduler, PerStreamIdxIssueLimit)
+{
+    // Two indexed reads on the SAME stream can only issue one address
+    // per cycle (§5.3), so II >= 2.
+    KernelBuilder b("dual");
+    auto lut = b.idxlIn("lut");
+    auto out = b.seqOut("o");
+    auto v1 = b.readIdx(lut, b.constInt(0));
+    auto v2 = b.readIdx(lut, b.constInt(1));
+    b.write(out, b.iadd(v1, v2));
+    KernelGraph g = b.build();
+    ModuloScheduler sched;
+    EXPECT_GE(sched.resourceMinII(g), 2u);
+}
+
+TEST(Scheduler, TwoStreamsCanIssueTogether)
+{
+    // One read on each of two different streams: ResMII from the
+    // idx-issue port is 1.
+    KernelBuilder b("two_streams");
+    auto lutA = b.idxlIn("a");
+    auto lutB = b.idxlIn("b");
+    auto out = b.seqOut("o");
+    auto v1 = b.readIdx(lutA, b.constInt(0));
+    auto v2 = b.readIdx(lutB, b.constInt(1));
+    b.write(out, b.iadd(v1, v2));
+    KernelGraph g = b.build();
+    ModuloScheduler sched;
+    KernelSchedule s = sched.schedule(g, 6);
+    EXPECT_LE(s.ii, 2u);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns)
+{
+    KernelGraph g = makeRecurrentLookup();
+    ModuloScheduler s1({}, 99), s2({}, 99);
+    KernelSchedule a = s1.schedule(g, 6);
+    KernelSchedule b2 = s2.schedule(g, 6);
+    EXPECT_EQ(a.ii, b2.ii);
+    EXPECT_EQ(a.opCycle, b2.opCycle);
+}
+
+TEST(Scheduler, EmptyGraph)
+{
+    KernelGraph g("empty");
+    ModuloScheduler sched;
+    KernelSchedule s = sched.schedule(g, 6);
+    EXPECT_EQ(s.ii, 1u);
+}
+
+} // namespace
+} // namespace isrf

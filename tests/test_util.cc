@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the utility layer: RNG, statistics, tables, logging.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/log.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace isrf {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; i++)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 5000; i++) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 20000; i++) {
+        double v = r.uniform();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ReseedReproduces)
+{
+    Rng r(5);
+    uint64_t first = r.next();
+    r.next();
+    r.reseed(5);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Counter, IncAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Average, TracksMeanMinMax)
+{
+    Average a;
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 6.0);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Average, EmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0, 10, 5);
+    h.sample(-1);
+    h.sample(0);
+    h.sample(3.9);
+    h.sample(10);
+    h.sample(25);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.totalSamples(), 5u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(1), 4.0);
+}
+
+TEST(StatGroup, CountersByName)
+{
+    StatGroup g("grp");
+    g.counter("a").inc(3);
+    g.counter("a").inc();
+    EXPECT_EQ(g.counterValue("a"), 4u);
+    EXPECT_EQ(g.counterValue("missing"), 0u);
+    EXPECT_TRUE(g.hasCounter("a"));
+    EXPECT_FALSE(g.hasCounter("b"));
+    g.resetAll();
+    EXPECT_EQ(g.counterValue("a"), 0u);
+}
+
+TEST(StatGroup, FormatRows)
+{
+    StatGroup g("srf");
+    g.counter("hits").inc(7);
+    auto rows = g.formatRows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_NE(rows[0].find("srf.hits"), std::string::npos);
+    EXPECT_NE(rows[0].find("7"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "2"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, DoubleRowFormatting)
+{
+    Table t({"bench", "a", "b"});
+    t.addRow("fft", {1.0, 0.4467}, 2);
+    std::string s = t.render();
+    EXPECT_NE(s.find("1.00"), std::string::npos);
+    EXPECT_NE(s.find("0.45"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table t({"a"});
+    t.addRow({"x,y"});
+    EXPECT_NE(t.renderCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Strprintf, Formats)
+{
+    EXPECT_EQ(strprintf("%d-%s", 3, "a"), "3-a");
+    EXPECT_EQ(strprintf("%.2f", 1.239), "1.24");
+}
+
+TEST(AsciiBar, Proportional)
+{
+    std::string full = asciiBar(10, 10, 10);
+    std::string half = asciiBar(5, 10, 10);
+    EXPECT_EQ(full, std::string(10, '#'));
+    EXPECT_EQ(half.substr(0, 5), std::string(5, '#'));
+    EXPECT_EQ(half.size(), 10u);
+}
+
+} // namespace
+} // namespace isrf

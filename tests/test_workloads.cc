@@ -1,0 +1,293 @@
+/**
+ * @file
+ * End-to-end workload tests: every benchmark must validate functionally
+ * on every machine configuration, and the paper's qualitative claims
+ * (traffic ratios, speedup directions, stall structure) must hold.
+ *
+ * These run full simulations; repeats is kept at 1 for test speed.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/fft.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+namespace {
+
+WorkloadOptions
+fastOpts()
+{
+    WorkloadOptions o;
+    o.repeats = 1;
+    return o;
+}
+
+/** Cached across tests in this binary (simulations are expensive). */
+const WorkloadResult &
+result(const std::string &name, MachineKind kind)
+{
+    static std::map<std::string, WorkloadResult> cache;
+    std::string key = name + "/" + machineKindName(kind);
+    auto it = cache.find(key);
+    if (it == cache.end())
+        it = cache.emplace(key, runWorkload(name, kind, fastOpts())).first;
+    return it->second;
+}
+
+class WorkloadCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, MachineKind>>
+{
+};
+
+TEST_P(WorkloadCorrectness, FunctionalValidationPasses)
+{
+    auto [name, kind] = GetParam();
+    const WorkloadResult &r = result(name, kind);
+    EXPECT_TRUE(r.correct) << name << " on " << machineKindName(kind);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.breakdown.total(), 0u + r.cycles * 8)
+        << "every lane-cycle must be classified";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllMachines, WorkloadCorrectness,
+    ::testing::Combine(
+        ::testing::Values("FFT 2D", "Rijndael", "Sort", "Filter",
+                          "IG_SML", "IG_DMS"),
+        ::testing::Values(MachineKind::Base, MachineKind::ISRF1,
+                          MachineKind::ISRF4, MachineKind::Cache)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param);
+        for (auto &c : n)
+            if (c == ' ')
+                c = '_';
+        return n + "_" +
+            std::string(machineKindName(std::get<1>(info.param)));
+    });
+
+TEST(WorkloadShape, Fft2dTrafficHalvesOnIsrf)
+{
+    double ratio =
+        static_cast<double>(result("FFT 2D", MachineKind::ISRF4)
+                                .dramWords) /
+        static_cast<double>(result("FFT 2D", MachineKind::Base)
+                                .dramWords);
+    EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(WorkloadShape, RijndaelTrafficDropsByAtLeast90Percent)
+{
+    double ratio =
+        static_cast<double>(result("Rijndael", MachineKind::ISRF4)
+                                .dramWords) /
+        static_cast<double>(result("Rijndael", MachineKind::Base)
+                                .dramWords);
+    EXPECT_LT(ratio, 0.10);  // paper: up to 95% reduction
+}
+
+TEST(WorkloadShape, SortAndFilterTrafficUnchanged)
+{
+    for (const char *name : {"Sort", "Filter"}) {
+        EXPECT_EQ(result(name, MachineKind::ISRF4).dramWords,
+                  result(name, MachineKind::Base).dramWords)
+            << name;
+    }
+}
+
+TEST(WorkloadShape, IgTrafficReduced)
+{
+    for (const char *name : {"IG_SML", "IG_DMS"}) {
+        double ratio =
+            static_cast<double>(result(name, MachineKind::ISRF4)
+                                    .dramWords) /
+            static_cast<double>(result(name, MachineKind::Base)
+                                    .dramWords);
+        EXPECT_GT(ratio, 0.3) << name;
+        EXPECT_LT(ratio, 0.75) << name;
+    }
+}
+
+TEST(WorkloadShape, Isrf4SpeedsUpEveryBenchmark)
+{
+    for (const char *name : {"FFT 2D", "Rijndael", "Sort", "Filter",
+                             "IG_SML", "IG_DMS"}) {
+        EXPECT_LT(result(name, MachineKind::ISRF4).cycles,
+                  result(name, MachineKind::Base).cycles)
+            << name;
+    }
+}
+
+TEST(WorkloadShape, RijndaelSpeedupIsTheLargest)
+{
+    auto speedup = [&](const char *name) {
+        return static_cast<double>(result(name, MachineKind::Base)
+                                       .cycles) /
+            static_cast<double>(result(name, MachineKind::ISRF4).cycles);
+    };
+    double rij = speedup("Rijndael");
+    EXPECT_GT(rij, 3.0);  // paper: 4.11x
+    for (const char *name : {"FFT 2D", "Sort", "Filter", "IG_SML",
+                             "IG_DMS"}) {
+        EXPECT_GT(rij, speedup(name)) << name;
+    }
+}
+
+TEST(WorkloadShape, Fft2dSpeedupNearPaper)
+{
+    // With a single repeat the software pipeline across data sets is
+    // short, so the speedup is below the steady-state 1.9x (the
+    // benches use repeats=2; paper: 2.24x).
+    double s = static_cast<double>(result("FFT 2D", MachineKind::Base)
+                                       .cycles) /
+        static_cast<double>(result("FFT 2D", MachineKind::ISRF4).cycles);
+    EXPECT_GT(s, 1.3);
+    EXPECT_LT(s, 3.0);
+}
+
+TEST(WorkloadShape, Isrf1StallsOnRijndael)
+{
+    // §5.3: Rijndael spends ~42% of ISRF1 execution on SRF stalls;
+    // ISRF4's indexed bandwidth removes them.
+    const WorkloadResult &r1 = result("Rijndael", MachineKind::ISRF1);
+    const WorkloadResult &r4 = result("Rijndael", MachineKind::ISRF4);
+    double f1 = static_cast<double>(r1.breakdown.srfStall) /
+        static_cast<double>(r1.breakdown.total());
+    double f4 = static_cast<double>(r4.breakdown.srfStall) /
+        static_cast<double>(r4.breakdown.total());
+    EXPECT_GT(f1, 0.25);
+    EXPECT_LT(f4, 0.10);
+    EXPECT_GT(r1.cycles, r4.cycles);
+}
+
+TEST(WorkloadShape, Isrf1EqualsIsrf4WhereSingleIndexedStream)
+{
+    // §5.3: ISRF1 and ISRF4 differ only for Rijndael and Filter.
+    for (const char *name : {"FFT 2D", "Sort", "IG_SML"}) {
+        EXPECT_EQ(result(name, MachineKind::ISRF1).cycles,
+                  result(name, MachineKind::ISRF4).cycles)
+            << name;
+    }
+    EXPECT_GT(result("Filter", MachineKind::ISRF1).cycles,
+              result("Filter", MachineKind::ISRF4).cycles);
+}
+
+TEST(WorkloadShape, Isrf4BeatsCacheEverywhere)
+{
+    for (const char *name : {"FFT 2D", "Rijndael", "Sort", "Filter",
+                             "IG_DMS"}) {
+        EXPECT_LE(result(name, MachineKind::ISRF4).cycles,
+                  result(name, MachineKind::Cache).cycles)
+            << name;
+    }
+}
+
+TEST(WorkloadShape, CacheCapturesFftAndRijndaelLocality)
+{
+    // The cache captures the FFT reorder and the AES tables, but Sort
+    // and Filter get no benefit from it (conditional/complex accesses).
+    EXPECT_LT(result("FFT 2D", MachineKind::Cache).dramWords,
+              result("FFT 2D", MachineKind::Base).dramWords);
+    EXPECT_LT(result("Rijndael", MachineKind::Cache).dramWords,
+              result("Rijndael", MachineKind::Base).dramWords / 4);
+    EXPECT_EQ(result("Sort", MachineKind::Cache).cycles,
+              result("Sort", MachineKind::Base).cycles);
+}
+
+TEST(WorkloadShape, CacheCapturesMoreIgLocalityThanIsrf)
+{
+    // §5.3: the cache also captures inter-strip IG reuse.
+    EXPECT_LT(result("IG_SML", MachineKind::Cache).dramWords,
+              result("IG_SML", MachineKind::ISRF4).dramWords);
+}
+
+TEST(WorkloadShape, MemoryBoundBenchmarksShowMemStallOnBase)
+{
+    for (const char *name : {"FFT 2D", "Rijndael", "IG_SML"}) {
+        const WorkloadResult &r = result(name, MachineKind::Base);
+        double frac = static_cast<double>(r.breakdown.memStall) /
+            static_cast<double>(r.breakdown.total());
+        EXPECT_GT(frac, 0.4) << name;
+    }
+}
+
+TEST(WorkloadShape, ShortStripsShowLargeOverheads)
+{
+    // IG_DMS (short strips) must show a much larger overhead share
+    // than IG_SML (long strips) on Base (§5.3).
+    auto ovh = [&](const char *name) {
+        const WorkloadResult &r = result(name, MachineKind::Base);
+        return static_cast<double>(r.breakdown.overhead) /
+            static_cast<double>(r.breakdown.total());
+    };
+    EXPECT_GT(ovh("IG_DMS"), 2.0 * ovh("IG_SML"));
+}
+
+TEST(WorkloadShape, KernelBwRecordedForIsrfKernels)
+{
+    const WorkloadResult &r = result("Rijndael", MachineKind::ISRF4);
+    ASSERT_TRUE(r.kernelBw.count("rijndael"));
+    const KernelBwRecord &bw = r.kernelBw.at("rijndael");
+    EXPECT_GT(bw.inLanePerLaneCycle(), 0.5);  // paper Fig 13: ~1.2
+    EXPECT_LT(bw.inLanePerLaneCycle(), 4.0);
+    EXPECT_EQ(bw.crossWords, 0u);
+
+    const WorkloadResult &ig = result("IG_SML", MachineKind::ISRF4);
+    ASSERT_TRUE(ig.kernelBw.count("igraph1"));
+    EXPECT_GT(ig.kernelBw.at("igraph1").crossPerLaneCycle(), 0.05);
+    EXPECT_EQ(ig.kernelBw.at("igraph1").inLaneWords, 0u)
+        << "IG indexed accesses are all cross-lane (§5.2)";
+}
+
+TEST(WorkloadShape, SeedChangesDataButNotCorrectness)
+{
+    WorkloadOptions o;
+    o.repeats = 1;
+    o.seed = 999;
+    WorkloadResult r = runWorkload("FFT 2D", MachineKind::ISRF4, o);
+    EXPECT_TRUE(r.correct);
+}
+
+TEST(WorkloadRegistry, ContainsAllEightBenchmarks)
+{
+    const auto &reg = workloadRegistry();
+    EXPECT_EQ(reg.size(), 8u);
+    for (const char *name : {"FFT 2D", "Rijndael", "Sort", "Filter",
+                             "IG_SML", "IG_SCL", "IG_DMS", "IG_DCS"})
+        EXPECT_TRUE(reg.count(name)) << name;
+    EXPECT_DEATH(runWorkload("nope", MachineKind::Base, fastOpts()),
+                 "unknown workload");
+}
+
+} // namespace
+} // namespace isrf
+
+namespace isrf {
+namespace {
+
+class Fft2dSizes : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(Fft2dSizes, CorrectAcrossArraySizes)
+{
+    WorkloadOptions o;
+    o.repeats = 1;
+    WorkloadResult r = runFft2dSized(MachineConfig::isrf4(), o,
+                                     GetParam());
+    EXPECT_TRUE(r.correct) << "n=" << GetParam();
+    WorkloadResult b = runFft2dSized(MachineConfig::base(), o,
+                                     GetParam());
+    EXPECT_TRUE(b.correct);
+    // The rotation savings hold at every size.
+    EXPECT_NEAR(static_cast<double>(r.dramWords) /
+                    static_cast<double>(b.dramWords), 0.5, 0.05);
+}
+
+// Sizes above 64 need strip-mining (2 full arrays no longer fit the
+// 128 KB SRF), which this benchmark — like the paper's — does not do.
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft2dSizes,
+                         ::testing::Values(16, 32, 64));
+
+} // namespace
+} // namespace isrf
