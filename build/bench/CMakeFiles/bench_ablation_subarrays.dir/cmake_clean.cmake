@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_subarrays.dir/bench_ablation_subarrays.cc.o"
+  "CMakeFiles/bench_ablation_subarrays.dir/bench_ablation_subarrays.cc.o.d"
+  "bench_ablation_subarrays"
+  "bench_ablation_subarrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_subarrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_area_overheads.dir/bench_area_overheads.cc.o"
+  "CMakeFiles/bench_area_overheads.dir/bench_area_overheads.cc.o.d"
+  "bench_area_overheads"
+  "bench_area_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_area_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

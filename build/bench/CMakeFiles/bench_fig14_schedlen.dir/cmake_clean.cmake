@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_schedlen.dir/bench_fig14_schedlen.cc.o"
+  "CMakeFiles/bench_fig14_schedlen.dir/bench_fig14_schedlen.cc.o.d"
+  "bench_fig14_schedlen"
+  "bench_fig14_schedlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_schedlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

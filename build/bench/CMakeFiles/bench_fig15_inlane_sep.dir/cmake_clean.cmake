@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_inlane_sep.dir/bench_fig15_inlane_sep.cc.o"
+  "CMakeFiles/bench_fig15_inlane_sep.dir/bench_fig15_inlane_sep.cc.o.d"
+  "bench_fig15_inlane_sep"
+  "bench_fig15_inlane_sep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_inlane_sep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

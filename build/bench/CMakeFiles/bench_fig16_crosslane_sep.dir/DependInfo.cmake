@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig16_crosslane_sep.cc" "bench/CMakeFiles/bench_fig16_crosslane_sep.dir/bench_fig16_crosslane_sep.cc.o" "gcc" "bench/CMakeFiles/bench_fig16_crosslane_sep.dir/bench_fig16_crosslane_sep.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

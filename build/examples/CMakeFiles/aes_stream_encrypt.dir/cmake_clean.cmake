@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_stream_encrypt.dir/aes_stream_encrypt.cpp.o"
+  "CMakeFiles/aes_stream_encrypt.dir/aes_stream_encrypt.cpp.o.d"
+  "aes_stream_encrypt"
+  "aes_stream_encrypt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_stream_encrypt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

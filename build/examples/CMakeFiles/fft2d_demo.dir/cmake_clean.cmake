@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft2d_demo.dir/fft2d_demo.cpp.o"
+  "CMakeFiles/fft2d_demo.dir/fft2d_demo.cpp.o.d"
+  "fft2d_demo"
+  "fft2d_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft2d_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_graph.dir/irregular_graph.cpp.o"
+  "CMakeFiles/irregular_graph.dir/irregular_graph.cpp.o.d"
+  "irregular_graph"
+  "irregular_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

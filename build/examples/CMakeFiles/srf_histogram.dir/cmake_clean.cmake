@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srf_histogram.dir/srf_histogram.cpp.o"
+  "CMakeFiles/srf_histogram.dir/srf_histogram.cpp.o.d"
+  "srf_histogram"
+  "srf_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srf_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

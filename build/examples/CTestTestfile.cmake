@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;isrf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fft2d_demo "/root/repo/build/examples/fft2d_demo")
+set_tests_properties(example_fft2d_demo PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;isrf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aes_stream_encrypt "/root/repo/build/examples/aes_stream_encrypt")
+set_tests_properties(example_aes_stream_encrypt PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;isrf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_irregular_graph "/root/repo/build/examples/irregular_graph")
+set_tests_properties(example_irregular_graph PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;isrf_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_srf_histogram "/root/repo/build/examples/srf_histogram")
+set_tests_properties(example_srf_histogram PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;isrf_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_area.dir/area/cacti_lite.cc.o"
+  "CMakeFiles/isrf_area.dir/area/cacti_lite.cc.o.d"
+  "CMakeFiles/isrf_area.dir/area/energy.cc.o"
+  "CMakeFiles/isrf_area.dir/area/energy.cc.o.d"
+  "libisrf_area.a"
+  "libisrf_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

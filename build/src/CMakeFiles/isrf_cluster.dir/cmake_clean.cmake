@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/isrf_cluster.dir/cluster/cluster.cc.o.d"
+  "libisrf_cluster.a"
+  "libisrf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

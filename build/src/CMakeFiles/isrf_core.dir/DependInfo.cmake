@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/breakdown.cc" "src/CMakeFiles/isrf_core.dir/core/breakdown.cc.o" "gcc" "src/CMakeFiles/isrf_core.dir/core/breakdown.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/isrf_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/isrf_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/CMakeFiles/isrf_core.dir/core/machine.cc.o" "gcc" "src/CMakeFiles/isrf_core.dir/core/machine.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/isrf_core.dir/core/report.cc.o" "gcc" "src/CMakeFiles/isrf_core.dir/core/report.cc.o.d"
+  "/root/repo/src/core/stream.cc" "src/CMakeFiles/isrf_core.dir/core/stream.cc.o" "gcc" "src/CMakeFiles/isrf_core.dir/core/stream.cc.o.d"
+  "/root/repo/src/core/stream_program.cc" "src/CMakeFiles/isrf_core.dir/core/stream_program.cc.o" "gcc" "src/CMakeFiles/isrf_core.dir/core/stream_program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_core.dir/core/breakdown.cc.o"
+  "CMakeFiles/isrf_core.dir/core/breakdown.cc.o.d"
+  "CMakeFiles/isrf_core.dir/core/config.cc.o"
+  "CMakeFiles/isrf_core.dir/core/config.cc.o.d"
+  "CMakeFiles/isrf_core.dir/core/machine.cc.o"
+  "CMakeFiles/isrf_core.dir/core/machine.cc.o.d"
+  "CMakeFiles/isrf_core.dir/core/report.cc.o"
+  "CMakeFiles/isrf_core.dir/core/report.cc.o.d"
+  "CMakeFiles/isrf_core.dir/core/stream.cc.o"
+  "CMakeFiles/isrf_core.dir/core/stream.cc.o.d"
+  "CMakeFiles/isrf_core.dir/core/stream_program.cc.o"
+  "CMakeFiles/isrf_core.dir/core/stream_program.cc.o.d"
+  "libisrf_core.a"
+  "libisrf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/builder.cc" "src/CMakeFiles/isrf_kernel.dir/kernel/builder.cc.o" "gcc" "src/CMakeFiles/isrf_kernel.dir/kernel/builder.cc.o.d"
+  "/root/repo/src/kernel/graph.cc" "src/CMakeFiles/isrf_kernel.dir/kernel/graph.cc.o" "gcc" "src/CMakeFiles/isrf_kernel.dir/kernel/graph.cc.o.d"
+  "/root/repo/src/kernel/op.cc" "src/CMakeFiles/isrf_kernel.dir/kernel/op.cc.o" "gcc" "src/CMakeFiles/isrf_kernel.dir/kernel/op.cc.o.d"
+  "/root/repo/src/kernel/schedule_dump.cc" "src/CMakeFiles/isrf_kernel.dir/kernel/schedule_dump.cc.o" "gcc" "src/CMakeFiles/isrf_kernel.dir/kernel/schedule_dump.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/CMakeFiles/isrf_kernel.dir/kernel/scheduler.cc.o" "gcc" "src/CMakeFiles/isrf_kernel.dir/kernel/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_kernel.dir/kernel/builder.cc.o"
+  "CMakeFiles/isrf_kernel.dir/kernel/builder.cc.o.d"
+  "CMakeFiles/isrf_kernel.dir/kernel/graph.cc.o"
+  "CMakeFiles/isrf_kernel.dir/kernel/graph.cc.o.d"
+  "CMakeFiles/isrf_kernel.dir/kernel/op.cc.o"
+  "CMakeFiles/isrf_kernel.dir/kernel/op.cc.o.d"
+  "CMakeFiles/isrf_kernel.dir/kernel/schedule_dump.cc.o"
+  "CMakeFiles/isrf_kernel.dir/kernel/schedule_dump.cc.o.d"
+  "CMakeFiles/isrf_kernel.dir/kernel/scheduler.cc.o"
+  "CMakeFiles/isrf_kernel.dir/kernel/scheduler.cc.o.d"
+  "libisrf_kernel.a"
+  "libisrf_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

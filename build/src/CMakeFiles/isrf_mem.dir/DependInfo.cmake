@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/isrf_mem.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/isrf_mem.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/isrf_mem.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/isrf_mem.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/CMakeFiles/isrf_mem.dir/mem/memory_system.cc.o" "gcc" "src/CMakeFiles/isrf_mem.dir/mem/memory_system.cc.o.d"
+  "/root/repo/src/mem/stream_mem_unit.cc" "src/CMakeFiles/isrf_mem.dir/mem/stream_mem_unit.cc.o" "gcc" "src/CMakeFiles/isrf_mem.dir/mem/stream_mem_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/isrf_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/isrf_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/isrf_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/isrf_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/isrf_mem.dir/mem/memory_system.cc.o.d"
+  "CMakeFiles/isrf_mem.dir/mem/stream_mem_unit.cc.o"
+  "CMakeFiles/isrf_mem.dir/mem/stream_mem_unit.cc.o.d"
+  "libisrf_mem.a"
+  "libisrf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_net.dir/net/crossbar.cc.o"
+  "CMakeFiles/isrf_net.dir/net/crossbar.cc.o.d"
+  "CMakeFiles/isrf_net.dir/net/index_network.cc.o"
+  "CMakeFiles/isrf_net.dir/net/index_network.cc.o.d"
+  "libisrf_net.a"
+  "libisrf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

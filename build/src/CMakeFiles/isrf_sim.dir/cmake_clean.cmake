@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/isrf_sim.dir/sim/engine.cc.o.d"
+  "libisrf_sim.a"
+  "libisrf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/srf/address_fifo.cc" "src/CMakeFiles/isrf_srf.dir/srf/address_fifo.cc.o" "gcc" "src/CMakeFiles/isrf_srf.dir/srf/address_fifo.cc.o.d"
+  "/root/repo/src/srf/arbiter.cc" "src/CMakeFiles/isrf_srf.dir/srf/arbiter.cc.o" "gcc" "src/CMakeFiles/isrf_srf.dir/srf/arbiter.cc.o.d"
+  "/root/repo/src/srf/srf.cc" "src/CMakeFiles/isrf_srf.dir/srf/srf.cc.o" "gcc" "src/CMakeFiles/isrf_srf.dir/srf/srf.cc.o.d"
+  "/root/repo/src/srf/srf_bank.cc" "src/CMakeFiles/isrf_srf.dir/srf/srf_bank.cc.o" "gcc" "src/CMakeFiles/isrf_srf.dir/srf/srf_bank.cc.o.d"
+  "/root/repo/src/srf/stream_buffer.cc" "src/CMakeFiles/isrf_srf.dir/srf/stream_buffer.cc.o" "gcc" "src/CMakeFiles/isrf_srf.dir/srf/stream_buffer.cc.o.d"
+  "/root/repo/src/srf/sub_array.cc" "src/CMakeFiles/isrf_srf.dir/srf/sub_array.cc.o" "gcc" "src/CMakeFiles/isrf_srf.dir/srf/sub_array.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

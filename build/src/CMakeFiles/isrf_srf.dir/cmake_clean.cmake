@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_srf.dir/srf/address_fifo.cc.o"
+  "CMakeFiles/isrf_srf.dir/srf/address_fifo.cc.o.d"
+  "CMakeFiles/isrf_srf.dir/srf/arbiter.cc.o"
+  "CMakeFiles/isrf_srf.dir/srf/arbiter.cc.o.d"
+  "CMakeFiles/isrf_srf.dir/srf/srf.cc.o"
+  "CMakeFiles/isrf_srf.dir/srf/srf.cc.o.d"
+  "CMakeFiles/isrf_srf.dir/srf/srf_bank.cc.o"
+  "CMakeFiles/isrf_srf.dir/srf/srf_bank.cc.o.d"
+  "CMakeFiles/isrf_srf.dir/srf/stream_buffer.cc.o"
+  "CMakeFiles/isrf_srf.dir/srf/stream_buffer.cc.o.d"
+  "CMakeFiles/isrf_srf.dir/srf/sub_array.cc.o"
+  "CMakeFiles/isrf_srf.dir/srf/sub_array.cc.o.d"
+  "libisrf_srf.a"
+  "libisrf_srf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_srf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

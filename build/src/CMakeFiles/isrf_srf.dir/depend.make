@@ -1,0 +1,2 @@
+# Empty dependencies file for isrf_srf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_util.dir/util/log.cc.o"
+  "CMakeFiles/isrf_util.dir/util/log.cc.o.d"
+  "CMakeFiles/isrf_util.dir/util/stats.cc.o"
+  "CMakeFiles/isrf_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/isrf_util.dir/util/table.cc.o"
+  "CMakeFiles/isrf_util.dir/util/table.cc.o.d"
+  "libisrf_util.a"
+  "libisrf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

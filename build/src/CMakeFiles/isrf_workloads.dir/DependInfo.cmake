@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fft.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/fft.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/fft.cc.o.d"
+  "/root/repo/src/workloads/filter.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/filter.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/filter.cc.o.d"
+  "/root/repo/src/workloads/igraph.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/igraph.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/igraph.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/rijndael.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/rijndael.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/rijndael.cc.o.d"
+  "/root/repo/src/workloads/sort.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/sort.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/sort.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/isrf_workloads.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/isrf_workloads.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isrf_workloads.dir/workloads/fft.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/fft.cc.o.d"
+  "CMakeFiles/isrf_workloads.dir/workloads/filter.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/filter.cc.o.d"
+  "CMakeFiles/isrf_workloads.dir/workloads/igraph.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/igraph.cc.o.d"
+  "CMakeFiles/isrf_workloads.dir/workloads/micro.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/micro.cc.o.d"
+  "CMakeFiles/isrf_workloads.dir/workloads/rijndael.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/rijndael.cc.o.d"
+  "CMakeFiles/isrf_workloads.dir/workloads/sort.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/sort.cc.o.d"
+  "CMakeFiles/isrf_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/isrf_workloads.dir/workloads/workload.cc.o.d"
+  "libisrf_workloads.a"
+  "libisrf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isrf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

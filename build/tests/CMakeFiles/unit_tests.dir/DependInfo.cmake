@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_area.cc" "tests/CMakeFiles/unit_tests.dir/test_area.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_area.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/unit_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_dump_rowmodel.cc" "tests/CMakeFiles/unit_tests.dir/test_dump_rowmodel.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_dump_rowmodel.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/unit_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/unit_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/unit_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/unit_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_kernel_ir.cc" "tests/CMakeFiles/unit_tests.dir/test_kernel_ir.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_kernel_ir.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/unit_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/unit_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_micro.cc" "tests/CMakeFiles/unit_tests.dir/test_micro.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_micro.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/unit_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/unit_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_references.cc" "tests/CMakeFiles/unit_tests.dir/test_references.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_references.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/unit_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/unit_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_srf_indexed.cc" "tests/CMakeFiles/unit_tests.dir/test_srf_indexed.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_srf_indexed.cc.o.d"
+  "/root/repo/tests/test_srf_parts.cc" "tests/CMakeFiles/unit_tests.dir/test_srf_parts.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_srf_parts.cc.o.d"
+  "/root/repo/tests/test_srf_seq.cc" "tests/CMakeFiles/unit_tests.dir/test_srf_seq.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_srf_seq.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/unit_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/unit_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/test_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/isrf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_area.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_srf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/isrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
