@@ -14,8 +14,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Arbitration-policy ablation: round-robin vs stall-aware "
             "indexed priority", "Section 5.4 (<10% claim)");
 
@@ -53,5 +54,6 @@ main()
                 "(paper: <10%%) -> %s\n", 100.0 * maxGain,
                 maxGain < 0.10 ? "round-robin is the right choice"
                                : "EXCEEDS the paper's bound");
+    finishBench(args);
     return 0;
 }

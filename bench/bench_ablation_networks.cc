@@ -18,8 +18,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Sparse-interconnect ablation: crossbar vs ring for the "
             "cross-lane networks", "Section 7 future work");
 
@@ -71,5 +72,6 @@ main()
                 100.0 * (full - sparse),
                 100.0 * (static_cast<double>(b.cycles) /
                              static_cast<double>(a.cycles) - 1.0));
+    finishBench(args);
     return 0;
 }

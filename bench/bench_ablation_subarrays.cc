@@ -17,8 +17,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Sub-array (in-lane indexed bandwidth) ablation",
             "extends §5.3 / Figure 12 (ISRF1 vs ISRF4)");
 
@@ -75,5 +76,6 @@ main()
     std::printf("Expected: large gains 1->4 (the paper's ISRF1 vs "
                 "ISRF4), marginal gains beyond 4\nfor rising area — "
                 "supporting the paper's choice of s=4.\n");
+    finishBench(args);
     return 0;
 }

@@ -31,8 +31,9 @@ printBreakdown(const SrfAreaModel &model, const AreaBreakdown &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("SRF area overheads and access energy",
             "Section 4.6 (area) and Section 4.4 (energy)");
 
@@ -79,5 +80,6 @@ main()
     std::printf("DRAM/indexed energy ratio: %.0fx (paper: 'an order of "
                 "magnitude lower' than DRAM)\n",
                 energy.dramToIndexedRatio());
+    finishBench(args);
     return 0;
 }

@@ -16,8 +16,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Access-energy estimates per benchmark (Base vs ISRF4)",
             "extends Section 4.4");
 
@@ -56,5 +57,6 @@ main()
                 "word, ~50x below DRAM) makes every bandwidth win an\n"
                 "energy win — largest for Rijndael, none for "
                 "Sort/Filter.\n");
+    finishBench(args, cache);
     return 0;
 }

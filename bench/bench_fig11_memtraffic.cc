@@ -15,8 +15,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Off-chip memory traffic, normalized to Base",
             "Figure 11 (and the 'up to 95% bandwidth reduction' claim)");
 
@@ -49,5 +50,6 @@ main()
     std::printf("\nMaximum bandwidth reduction: %.0f%% "
                 "(paper: up to 95%%, on Rijndael)\n",
                 100.0 * maxReduction);
+    finishBench(args, cache);
     return 0;
 }

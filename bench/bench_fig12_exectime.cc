@@ -12,8 +12,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Execution time breakdown, normalized to Base",
             "Figure 12 + headline speedups (1.03x-4.1x)");
 
@@ -71,5 +72,6 @@ main()
                     "stalls (paper: %s)\n", name, 100.0 * frac,
                     std::string(name) == "Rijndael" ? "42%" : "18%");
     }
+    finishBench(args, cache);
     return 0;
 }

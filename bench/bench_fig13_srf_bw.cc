@@ -15,8 +15,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Sustained SRF bandwidth demands on ISRF4 "
             "(words/cycle/cluster)", "Figure 13");
 
@@ -53,5 +54,6 @@ main()
     std::printf("Peak bandwidths for reference (Table 3): sequential 4 "
                 "words/cycle/cluster,\nin-lane indexed 4, cross-lane "
                 "indexed 1.\n");
+    finishBench(args, cache);
     return 0;
 }

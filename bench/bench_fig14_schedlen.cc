@@ -25,8 +25,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Static schedule length of kernel inner loops vs "
             "address/data separation", "Figure 14");
 
@@ -81,5 +82,6 @@ main()
     std::printf("Expected: Rijndael/Sort1/Sort2 grow (loop-carried "
                 "index computation);\nFFT2D/Filter/IGraph1/IGraph2 stay "
                 "flat (software pipelining).\n");
+    finishBench(args);
     return 0;
 }

@@ -29,8 +29,9 @@ kernelTime(const WorkloadResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Execution time of in-lane indexed kernels vs address/data "
             "separation (ISRF4)", "Figure 15");
 
@@ -65,5 +66,6 @@ main()
                 "best separation:\n%s\n", t.render().c_str());
     std::printf("Expected: improvement then degradation; the paper's "
                 "default is 6 cycles (§5.1).\n");
+    finishBench(args);
     return 0;
 }

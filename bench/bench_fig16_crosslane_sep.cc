@@ -28,8 +28,9 @@ kernelTime(const WorkloadResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Execution time of cross-lane indexed kernels vs "
             "address/data separation (ISRF4)", "Figure 16");
 
@@ -66,5 +67,6 @@ main()
                 "best separation:\n%s\n", t.render().c_str());
     std::printf("Expected: nearly flat curves (within a few percent) "
                 "across 4..24 cycles.\n");
+    finishBench(args);
     return 0;
 }

@@ -16,8 +16,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("In-lane indexed throughput vs sub-arrays and FIFO size "
             "(words/cycle/lane)", "Figure 17");
 
@@ -50,5 +51,6 @@ main()
     std::printf("Per-sub-array utilization at FIFO=8: s=4 -> %.3f, "
                 "s=8 -> %.3f\n(head-of-line blocking: utilization "
                 "drops as sub-arrays increase)\n", u4, u8);
+    finishBench(args);
     return 0;
 }

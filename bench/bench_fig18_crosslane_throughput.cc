@@ -19,8 +19,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Cross-lane indexed throughput vs bank ports and "
             "inter-cluster occupancy (words/cycle/lane)", "Figure 18");
 
@@ -60,5 +61,6 @@ main()
         std::printf("Throughput loss at 80%% occupancy with %u "
                     "port(s): %.0f%%\n", ports[pi], 100.0 * drop);
     }
+    finishBench(args);
     return 0;
 }

@@ -10,8 +10,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("Machine configurations", "Tables 2 and 3");
 
     std::printf("Table 2: configuration summary\n");
@@ -108,5 +109,6 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("Clock 1 GHz; peak compute 32 GFLOPs (8 lanes x 4 "
                 "pipelined FP units); DRAM 9.14 GB/s.\n");
+    finishBench(args);
     return 0;
 }

@@ -13,8 +13,9 @@ using namespace isrf;
 using namespace isrf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchArgs args = parseBenchArgs(argc, argv);
     heading("IG benchmark dataset parameters", "Table 4");
 
     Table t({"Data set", "FP ops/neighbor", "Avg degree (target)",
@@ -39,5 +40,6 @@ main()
                 "~2x because replication is eliminated; strip size is "
                 "the\nnumber of neighbor records processed per kernel "
                 "invocation).\n");
+    finishBench(args);
     return 0;
 }

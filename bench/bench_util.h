@@ -8,10 +8,13 @@
 #define ISRF_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "sim/trace.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workloads/workload.h"
 
@@ -66,10 +69,120 @@ class ResultCache
 
     WorkloadOptions &options() { return opts_; }
 
+    /** All results run so far, keyed "workload/machine". */
+    const std::map<std::string, WorkloadResult> &results() const
+    {
+        return cache_;
+    }
+
   private:
     WorkloadOptions opts_;
     std::map<std::string, WorkloadResult> cache_;
 };
+
+/** Common command-line options shared by every bench binary. */
+struct BenchArgs
+{
+    std::string jsonPath;   ///< --json: machine-readable results
+    std::string tracePath;  ///< --trace: Chrome trace-event JSON
+};
+
+/**
+ * Parse the standard bench options:
+ *   --json <path>            write run results as JSON
+ *   --trace <path>           write a Chrome/Perfetto trace
+ *   --trace-channels <spec>  restrict tracing (ISRF_TRACE syntax)
+ * --trace enables all channels unless a channel spec (or ISRF_TRACE)
+ * already selected some. Exits on unknown options.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    // Force construction so ISRF_TRACE is parsed before any on() check.
+    Tracer::instance();
+    auto next = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s requires an argument\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; i++) {
+        std::string s = argv[i];
+        if (s == "--json") {
+            args.jsonPath = next(i, "--json");
+        } else if (s == "--trace") {
+            args.tracePath = next(i, "--trace");
+        } else if (s == "--trace-channels") {
+            Tracer::instance().enableChannels(
+                next(i, "--trace-channels"));
+        } else if (s == "--help" || s == "-h") {
+            std::printf(
+                "usage: %s [--json <path>] [--trace <path>] "
+                "[--trace-channels <spec>]\n", argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s' (try --help)\n",
+                         s.c_str());
+            std::exit(2);
+        }
+    }
+    if (!args.tracePath.empty() && !Tracer::on())
+        Tracer::instance().enableChannels("all");
+    return args;
+}
+
+/** Serialize a result map as {"results":{...}} and write it. */
+inline void
+writeBenchJson(const std::string &path,
+               const std::map<std::string, WorkloadResult> &results)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("results").beginObject();
+    for (const auto &kv : results) {
+        w.key(kv.first);
+        resultJson(w, kv.second);
+    }
+    w.endObject();
+    w.endObject();
+    if (writeTextFile(path, w.str()))
+        std::fprintf(stderr, "wrote JSON results to %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "ERROR: could not write %s\n", path.c_str());
+}
+
+/**
+ * Write the --json/--trace outputs for a binary without a ResultCache
+ * (its --json report is an empty results object).
+ */
+inline void
+finishBench(const BenchArgs &args)
+{
+    if (!args.jsonPath.empty())
+        writeBenchJson(args.jsonPath, {});
+    if (args.tracePath.empty())
+        return;
+    if (Tracer::instance().writeChromeJson(args.tracePath)) {
+        std::fprintf(stderr, "wrote trace to %s (%zu events)\n",
+                     args.tracePath.c_str(), Tracer::instance().size());
+    } else {
+        std::fprintf(stderr, "ERROR: could not write trace to %s\n",
+                     args.tracePath.c_str());
+    }
+}
+
+/** Write --json results and the --trace output (no-ops without them). */
+inline void
+finishBench(const BenchArgs &args, const ResultCache &cache)
+{
+    if (!args.jsonPath.empty())
+        writeBenchJson(args.jsonPath, cache.results());
+    BenchArgs traceOnly = args;
+    traceOnly.jsonPath.clear();
+    finishBench(traceOnly);
+}
 
 inline void
 heading(const char *title, const char *paperRef)

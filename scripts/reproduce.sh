@@ -13,10 +13,19 @@ echo "==> running tests"
 ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee test_output.txt | tail -3
 
 echo "==> running paper benches (Tables 2-4, Figures 11-18, ablations)"
+REPORTS="$BUILD/reports"
+mkdir -p "$REPORTS"
 for b in "$BUILD"/bench/bench_*; do
     [ -x "$b" ] || continue
-    echo "############ $(basename "$b") ############"
-    "$b"
+    name="$(basename "$b")"
+    echo "############ $name ############"
+    if [ "$name" = bench_components ]; then
+        # google-benchmark binary: no --json/--trace support.
+        "$b"
+    else
+        "$b" --json "$REPORTS/$name.json"
+    fi
 done 2>/dev/null | tee bench_output.txt | grep -E "^Reproduces|speedup range"
 
+echo "==> machine-readable results in $REPORTS/*.json"
 echo "==> done; see test_output.txt and bench_output.txt"

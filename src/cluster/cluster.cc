@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -64,6 +65,7 @@ Cluster::init(uint32_t lane, Srf *srf, Crossbar *dataNet)
     lane_ = lane;
     srf_ = srf;
     dataNet_ = dataNet;
+    traceCh_ = Tracer::instance().channel("cluster");
 }
 
 void
@@ -86,6 +88,9 @@ Cluster::bind(const KernelInvocation *inv, Cycle now)
     pendingIn_.assign(nSlots, 0);
     pendingIdxR_.assign(nSlots, {});
     pendingIdxW_.assign(nSlots, {});
+    doneReported_ = false;
+    if (Tracer::on())
+        Tracer::instance().instant(traceCh_, "bind", now, lane_);
 }
 
 void
@@ -268,6 +273,12 @@ Cluster::tick(Cycle now)
     }
     uint64_t total = inv_->laneTraces[lane_].iterations;
     if (itersIssued_ >= total) {
+        if (!doneReported_) {
+            doneReported_ = true;
+            if (Tracer::on())
+                Tracer::instance().instant(traceCh_, "lane_done", now,
+                                           lane_);
+        }
         // Pipe drain / waiting for other lanes: kernel overhead
         // (software-pipeline drain + load imbalance).
         cycles_.overhead++;

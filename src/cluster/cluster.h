@@ -172,6 +172,9 @@ class Cluster
 
     LaneCycles cycles_;
     CycleCat lastCat_ = CycleCat::Idle;
+
+    uint16_t traceCh_ = 0;
+    bool doneReported_ = false;  ///< "lane_done" emitted for this bind
 };
 
 } // namespace isrf

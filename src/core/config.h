@@ -53,6 +53,13 @@ struct MachineConfig
      */
     double commOccupancy = 0.0;
 
+    /**
+     * Snapshot machine stats every N cycles into the StatSampler
+     * (0 = sampling off). The ISRF_SAMPLE environment variable
+     * overrides this at Machine::init time.
+     */
+    uint64_t statSampleInterval = 0;
+
     uint64_t seed = 1;
 
     std::string name() const { return machineKindName(kind); }

@@ -1,5 +1,8 @@
 #include "core/machine.h"
 
+#include <cstdlib>
+
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -19,8 +22,54 @@ Machine::init(const MachineConfig &cfg)
     scheduler_ = ModuloScheduler(cfg.cluster, cfg.seed);
     rng_.reseed(cfg.seed * 7919 + 13);
     engine_.add(this);
+    traceCh_ = Tracer::instance().channel("machine");
+    initSampler();
     breakdown_.reset();
     kernelBw_.clear();
+}
+
+void
+Machine::initSampler()
+{
+    uint64_t interval = cfg_.statSampleInterval;
+    if (const char *env = std::getenv("ISRF_SAMPLE")) {
+        long n = std::atol(env);
+        interval = n > 0 ? static_cast<uint64_t>(n) : 0;
+    }
+    if (interval == 0) {
+        sampler_.reset();
+        return;
+    }
+    sampler_ = std::make_unique<StatSampler>(interval);
+    sampler_->addGroup(&srf_.stats());
+    sampler_->addGroup(&mem_.stats());
+    sampler_->addCounterFn("dram.words",
+        [this]() { return mem_.dram().wordsTransferred(); });
+    sampler_->addCounterFn("dram.row_hits",
+        [this]() { return mem_.dram().rowHits(); });
+    sampler_->addCounterFn("dram.row_misses",
+        [this]() { return mem_.dram().rowMisses(); });
+    sampler_->addCounterFn("cache.hits",
+        [this]() { return mem_.cache().hits(); });
+    sampler_->addCounterFn("cache.misses",
+        [this]() { return mem_.cache().misses(); });
+    sampler_->addGauge("mem.in_flight",
+        [this]() { return static_cast<double>(mem_.inFlight()); });
+    sampler_->addGauge("srf.remote_queue_depth",
+        [this]() {
+            return static_cast<double>(srf_.maxRemoteQueueDepth());
+        });
+    sampler_->addGauge("cluster.busy_frac", [this]() {
+        uint32_t busy = 0;
+        for (const auto &c : clusters_)
+            if (c.lastCat() != CycleCat::Idle)
+                busy++;
+        return clusters_.empty() ? 0.0
+            : static_cast<double>(busy) /
+              static_cast<double>(clusters_.size());
+    });
+    // Register last so it samples after every component has ticked.
+    engine_.add(sampler_.get());
 }
 
 KernelSchedule
@@ -71,6 +120,12 @@ Machine::launchKernel(std::shared_ptr<KernelInvocation> inv)
     for (auto &c : clusters_)
         c.bind(active_.get(), engine_.now());
 
+    if (Tracer::on()) {
+        Tracer &t = Tracer::instance();
+        activeKernelName_ = t.intern(active_->graph->name());
+        t.begin(traceCh_, activeKernelName_, engine_.now());
+    }
+
     bwSeq0_ = srf_.seqWordsAccessed();
     bwIn0_ = srf_.idxInLaneWords();
     bwCross0_ = srf_.idxCrossWords();
@@ -107,6 +162,11 @@ Machine::finishKernelIfDone(Cycle now)
 
     for (auto &c : clusters_)
         c.unbind();
+    if (activeKernelName_) {
+        if (Tracer::on())
+            Tracer::instance().end(traceCh_, activeKernelName_, now);
+        activeKernelName_ = nullptr;
+    }
     active_.reset();
     flushing_ = false;
 }

@@ -19,6 +19,7 @@
 #include "core/stream.h"
 #include "mem/memory_system.h"
 #include "sim/engine.h"
+#include "sim/stat_sampler.h"
 #include "util/random.h"
 
 namespace isrf {
@@ -114,8 +115,16 @@ class Machine : public Ticked
     /** Zero breakdown/bandwidth/DRAM statistics (not machine state). */
     void resetStats();
 
+    /**
+     * Interval stat sampler; non-null only when sampling is enabled
+     * (cfg.statSampleInterval or the ISRF_SAMPLE environment variable).
+     */
+    StatSampler *sampler() { return sampler_.get(); }
+    const StatSampler *sampler() const { return sampler_.get(); }
+
   private:
     void finishKernelIfDone(Cycle now);
+    void initSampler();
 
     MachineConfig cfg_;
     Engine engine_;
@@ -127,12 +136,16 @@ class Machine : public Ticked
     ModuloScheduler scheduler_;
     Rng rng_;
 
+    std::unique_ptr<StatSampler> sampler_;
+
     std::shared_ptr<KernelInvocation> active_;
     std::vector<SlotId> activeOutputs_;
     std::vector<SlotId> activeIdxWriteSlots_;
     bool flushing_ = false;
     Cycle kernelStart_ = 0;
     uint64_t bwSeq0_ = 0, bwIn0_ = 0, bwCross0_ = 0;
+    uint16_t traceCh_ = 0;
+    const char *activeKernelName_ = nullptr;  ///< interned, for spans
 
     TimeBreakdown breakdown_;
     std::map<std::string, KernelBwRecord> kernelBw_;

@@ -28,6 +28,16 @@ struct ReportOptions
 /** Render a full post-run report for a machine. */
 std::string machineReport(Machine &m, const ReportOptions &opts = {});
 
+/**
+ * The same report as machineReport(), as a JSON object (RFC 8259):
+ *   { "machine": ..., "cycles": ..., "breakdown": {...}, "srf": {...},
+ *     "dram": {...}, "cache": {...}?, "kernels": [...], "energy": {...},
+ *     "samples": [...]? }
+ * Counter values match the text report exactly; "samples" appears only
+ * when the machine has an active StatSampler with recorded intervals.
+ */
+std::string machineReportJson(Machine &m, const ReportOptions &opts = {});
+
 /** Collect the machine's access counts for the energy model. */
 EnergyCounts energyCounts(Machine &m);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -20,8 +21,10 @@ Dram::init(const DramConfig &cfg)
     mem_.assign(cfg.capacityWords, 0);
     openRow_.assign(cfg.banks, -1);
     tokens_ = 0;
+    now_ = 0;
     rowHits_ = 0;
     rowMisses_ = 0;
+    traceCh_ = Tracer::instance().channel("dram");
     resetStats();
 }
 
@@ -63,6 +66,7 @@ Dram::dump(uint64_t wordAddr, uint64_t n) const
 void
 Dram::tick()
 {
+    now_++;
     tokens_ = std::min(tokens_ + cfg_.wordsPerCycle, cfg_.burstTokens);
 }
 
@@ -109,6 +113,8 @@ Dram::tryAccessWord(uint64_t addr)
     } else {
         rowMisses_++;
         randomWords_++;
+        if (Tracer::on())
+            Tracer::instance().instant(traceCh_, "row_miss", now_, bank);
     }
     return true;
 }

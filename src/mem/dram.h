@@ -111,6 +111,8 @@ class Dram
     std::vector<Word> mem_;
     std::vector<int64_t> openRow_;
     double tokens_ = 0;
+    Cycle now_ = 0;  ///< cycles ticked (trace timestamps)
+    uint16_t traceCh_ = 0;
     uint64_t rowHits_ = 0;
     uint64_t rowMisses_ = 0;
     uint64_t wordsTransferred_ = 0;

@@ -1,8 +1,25 @@
 #include "mem/memory_system.h"
 
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
+
+namespace {
+
+const char *
+memOpName(MemOpKind kind)
+{
+    switch (kind) {
+      case MemOpKind::Load: return "load";
+      case MemOpKind::Store: return "store";
+      case MemOpKind::Gather: return "gather";
+      case MemOpKind::Scatter: return "scatter";
+    }
+    return "?";
+}
+
+} // namespace
 
 void
 MemorySystem::init(const MemSystemConfig &cfg, const DramConfig &dramCfg,
@@ -20,6 +37,9 @@ MemorySystem::init(const MemSystemConfig &cfg, const DramConfig &dramCfg,
     }
     queue_.clear();
     nextId_ = 1;
+    traceCh_ = Tracer::instance().channel("mem");
+    queueDepthHist_ = &stats_.histogram("queue_depth", 0,
+        static_cast<double>(cfg.units + 16), cfg.units + 16);
 }
 
 MemOpId
@@ -77,18 +97,36 @@ MemorySystem::tick(Cycle now)
     MemBandwidth bw;
     bw.cacheTokens = cfg_.cacheEnabled ? cache_.config().wordsPerCycle : 0;
 
+    size_t busyBefore = inFlight();
+    if (busyBefore > 0)
+        queueDepthHist_->sample(static_cast<double>(busyBefore));
+
     // Dispatch queued ops to free units.
     for (size_t u = 0; u < units_.size() && !queue_.empty(); u++) {
         if (units_[u].busy())
             continue;
         units_[u].start(queue_.front().op, now);
         unitOpId_[u] = queue_.front().id;
+        if (Tracer::on()) {
+            Tracer::instance().instant(traceCh_,
+                memOpName(queue_.front().op.kind), now,
+                static_cast<uint64_t>(queue_.front().id));
+        }
         queue_.pop_front();
         stats_.counter("ops_started").inc();
     }
 
-    for (auto &u : units_)
-        u.tick(now, bw);
+    for (size_t u = 0; u < units_.size(); u++) {
+        bool wasBusy = units_[u].busy();
+        units_[u].tick(now, bw);
+        if (wasBusy && !units_[u].busy()) {
+            stats_.counter("ops_completed").inc();
+            if (Tracer::on()) {
+                Tracer::instance().instant(traceCh_, "op_done", now,
+                    static_cast<uint64_t>(unitOpId_[u]));
+            }
+        }
+    }
 }
 
 } // namespace isrf

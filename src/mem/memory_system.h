@@ -72,6 +72,9 @@ class MemorySystem
     std::deque<Pending> queue_;
     MemOpId nextId_ = 1;
     StatGroup stats_{"mem"};
+    uint16_t traceCh_ = 0;
+    /** Distribution of in-flight ops while the system is busy. */
+    Histogram *queueDepthHist_ = nullptr;
 };
 
 } // namespace isrf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -14,6 +15,8 @@ StreamMemUnit::init(Dram *dram, Cache *cache, Srf *srf,
     cache_ = cache;
     srf_ = srf;
     stagingCap_ = stagingWords;
+    if (cache_)
+        cacheTraceCh_ = Tracer::instance().channel("cache");
 }
 
 void
@@ -115,10 +118,16 @@ StreamMemUnit::payWordCost(uint64_t memAddr, bool isWrite, MemBandwidth &bw)
     if (fullLineStore)
         bw.cacheTokens -= 1.0;
     CacheAccessResult r = cache_->access(line, isWrite);
+    if (Tracer::on())
+        Tracer::instance().instant(cacheTraceCh_, "miss", curCycle_, line);
     if (r.writeback) {
         // Writeback bandwidth: retroactive token consumption; allow the
         // bucket to go negative via a forced grab so timing still pays.
         dram_->requestWords(cache_->config().lineWords, true);
+        if (Tracer::on()) {
+            Tracer::instance().instant(cacheTraceCh_, "writeback",
+                                       curCycle_, line);
+        }
     }
     return true;
 }
@@ -190,6 +199,7 @@ StreamMemUnit::tickStoreSide(MemBandwidth &bw)
 void
 StreamMemUnit::tick(Cycle now, MemBandwidth &bw)
 {
+    curCycle_ = now;
     if (!busy_)
         return;
     // Fixed access latency before the first data word moves.

@@ -96,6 +96,8 @@ class StreamMemUnit
     MemOp op_;
     double dramCostFactor_ = 1.0;
     Cycle startCycle_ = 0;
+    Cycle curCycle_ = 0;  ///< latest tick() cycle (trace timestamps)
+    uint16_t cacheTraceCh_ = 0;
     uint64_t dramCursor_ = 0;  ///< stream words done on the DRAM side
     uint64_t srfCursor_ = 0;   ///< stream words done on the SRF side
     std::deque<Word> staging_;

@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -35,6 +36,9 @@ Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
     uint64_t executed = 0;
     while (!done()) {
         if (executed >= limit) {
+            // Dump the tail of the event trace first: a deadlocked
+            // model's last grants/stalls are the diagnosis.
+            Tracer::instance().dumpTail(stderr, kDeadlockDumpEvents);
             panic("Engine::runUntil: cycle limit %llu exceeded at cycle "
                   "%llu (model deadlock?)",
                   static_cast<unsigned long long>(limit),

@@ -38,12 +38,19 @@ class Engine
     /**
      * Step until done() returns true.
      *
+     * On hitting `limit` the engine dumps the last trace-buffer events
+     * to stderr (see sim/trace.h) before panicking, so deadlocks are
+     * diagnosable when tracing is enabled.
+     *
      * @param done Predicate checked after each cycle.
      * @param limit Max cycles to run before panicking (deadlock guard).
      * @return Number of cycles executed by this call.
      */
     uint64_t runUntil(const std::function<bool()> &done,
                       uint64_t limit = 1ull << 32);
+
+    /** Trace events dumped to stderr on a runUntil deadlock panic. */
+    static constexpr size_t kDeadlockDumpEvents = 48;
 
     /** Current simulation time in cycles. */
     Cycle now() const { return now_; }

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Cycle-accurate event tracer for the simulator.
+ *
+ * Components register named *channels* ("srf", "mem", "dram", ...) and
+ * emit timestamped events into a bounded ring buffer: Begin/End spans,
+ * Instant markers, and Counter samples. Tracing is runtime-enabled —
+ * via the ISRF_TRACE environment variable or Tracer::enableChannels() —
+ * and costs a single predictable branch per call site when off, so the
+ * instrumentation can live permanently in hot paths.
+ *
+ * The buffer exports as Chrome trace-event JSON (loadable in Perfetto
+ * or chrome://tracing; one "thread" per channel) and as CSV. The tail
+ * of the ring can also be dumped on a deadlock panic so hung runs are
+ * diagnosable (see Engine::runUntil).
+ *
+ * ISRF_TRACE syntax:
+ *   ISRF_TRACE=all           enable every channel
+ *   ISRF_TRACE=1             same as "all"
+ *   ISRF_TRACE=srf,mem,dram  enable only the listed channels
+ *   ISRF_TRACE=0 / unset     tracing off
+ *
+ * Event names must be string literals (or otherwise outlive the
+ * tracer): the ring stores `const char *` to stay allocation-free.
+ */
+#ifndef ISRF_SIM_TRACE_H
+#define ISRF_SIM_TRACE_H
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/ticked.h"
+
+namespace isrf {
+
+/** Kind of a trace event (maps onto Chrome trace-event phases). */
+enum class TraceEventType : uint8_t {
+    Begin,    ///< opens a span on its channel ("ph":"B")
+    End,      ///< closes the innermost span ("ph":"E")
+    Instant,  ///< a point-in-time marker ("ph":"i")
+    Counter,  ///< a named value sample ("ph":"C")
+};
+
+/** One entry in the trace ring buffer. */
+struct TraceEvent
+{
+    Cycle ts = 0;           ///< cycle the event happened
+    uint16_t channel = 0;   ///< channel id from Tracer::channel()
+    TraceEventType type = TraceEventType::Instant;
+    const char *name = "";  ///< static string; not owned
+    uint64_t arg = 0;       ///< payload: counter value, slot id, ...
+};
+
+/**
+ * Process-wide event tracer (the simulator is single-threaded).
+ *
+ * Channel ids are stable for the process lifetime; clear() drops
+ * buffered events but keeps channel registrations and enablement.
+ */
+class Tracer
+{
+  public:
+    /** The global tracer. First call parses ISRF_TRACE. */
+    static Tracer &instance();
+
+    /** Fast-path check for call sites: any tracing enabled at all? */
+    static bool on() { return enabled_; }
+
+    /** Get-or-create a channel id for a component name. */
+    uint16_t channel(const std::string &name);
+
+    /** Channel name for an id (empty if unknown). */
+    const std::string &channelName(uint16_t id) const;
+
+    size_t channelCount() const { return channels_.size(); }
+
+    /**
+     * Enable channels from a spec: "all"/"1" for everything, "0"/"" for
+     * nothing, else a comma-separated channel-name list. Names not yet
+     * registered are remembered and applied on registration.
+     */
+    void enableChannels(const std::string &spec);
+
+    /** Disable all channels (events stop being recorded). */
+    void disable();
+
+    bool channelEnabled(uint16_t id) const;
+
+    /** Ring capacity in events (default 1<<16). Clears the buffer. */
+    void setCapacity(size_t events);
+    size_t capacity() const { return ring_.size(); }
+
+    /** Drop all buffered events (registrations survive). */
+    void clear();
+
+    /**
+     * Intern a dynamic string for use as an event name: returns a
+     * pointer that stays valid for the process lifetime. Use for names
+     * built at runtime (e.g. kernel names) — event names are stored as
+     * `const char *` and must outlive the tracer.
+     */
+    const char *intern(const std::string &s);
+
+    // ------------------------------------------------------------------
+    // Recording (call sites should guard with Tracer::on())
+    // ------------------------------------------------------------------
+
+    void record(uint16_t ch, TraceEventType type, const char *name,
+                Cycle ts, uint64_t arg = 0);
+
+    void
+    begin(uint16_t ch, const char *name, Cycle ts, uint64_t arg = 0)
+    {
+        record(ch, TraceEventType::Begin, name, ts, arg);
+    }
+    void
+    end(uint16_t ch, const char *name, Cycle ts, uint64_t arg = 0)
+    {
+        record(ch, TraceEventType::End, name, ts, arg);
+    }
+    void
+    instant(uint16_t ch, const char *name, Cycle ts, uint64_t arg = 0)
+    {
+        record(ch, TraceEventType::Instant, name, ts, arg);
+    }
+    void
+    counter(uint16_t ch, const char *name, Cycle ts, uint64_t value)
+    {
+        record(ch, TraceEventType::Counter, name, ts, value);
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection / export
+    // ------------------------------------------------------------------
+
+    /** Events currently buffered (<= capacity). */
+    size_t size() const { return count_; }
+
+    /** Total events recorded, including ones the ring overwrote. */
+    uint64_t totalRecorded() const { return totalRecorded_; }
+
+    /** Events lost to ring wraparound. */
+    uint64_t dropped() const { return totalRecorded_ - count_; }
+
+    /** The most recent n events, oldest first. */
+    std::vector<TraceEvent> lastEvents(size_t n) const;
+
+    /** All buffered events, oldest first. */
+    std::vector<TraceEvent> events() const { return lastEvents(count_); }
+
+    /** Render the buffer as Chrome trace-event JSON. */
+    std::string chromeJson() const;
+
+    /** Render the buffer as "cycle,channel,type,name,arg" CSV. */
+    std::string csv() const;
+
+    /** Write chromeJson() to a file. @return false on I/O error. */
+    bool writeChromeJson(const std::string &path) const;
+
+    /** Write csv() to a file. @return false on I/O error. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Dump the last n events to a stream (deadlock diagnostics). */
+    void dumpTail(std::FILE *out, size_t n) const;
+
+  private:
+    Tracer();
+
+    void refreshEnabledFlag();
+
+    struct Channel
+    {
+        std::string name;
+        bool enabled = false;
+    };
+
+    static bool enabled_;  ///< any channel enabled (fast-path flag)
+
+    std::vector<Channel> channels_;
+    std::vector<std::string> pendingEnables_;  ///< names enabled early
+    bool enableAll_ = false;
+    std::set<std::string> interned_;  ///< node-stable name storage
+
+    std::vector<TraceEvent> ring_;
+    size_t head_ = 0;   ///< next write position
+    size_t count_ = 0;  ///< valid events in the ring
+    uint64_t totalRecorded_ = 0;
+};
+
+/**
+ * RAII Begin/End span helper:
+ *   { TraceScope s(ch, "kernel", now); ... s.close(later); }
+ * If close() is never called the span ends at the construction cycle.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(uint16_t ch, const char *name, Cycle start, uint64_t arg = 0)
+        : ch_(ch), name_(name), last_(start)
+    {
+        if (Tracer::on())
+            Tracer::instance().begin(ch_, name_, start, arg);
+    }
+    void
+    close(Cycle end)
+    {
+        last_ = end;
+        closed_ = true;
+        if (Tracer::on())
+            Tracer::instance().end(ch_, name_, end);
+    }
+    ~TraceScope()
+    {
+        if (!closed_ && Tracer::on())
+            Tracer::instance().end(ch_, name_, last_);
+    }
+
+  private:
+    uint16_t ch_;
+    const char *name_;
+    Cycle last_;
+    bool closed_ = false;
+};
+
+} // namespace isrf
+
+#endif // ISRF_SIM_TRACE_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -23,6 +24,12 @@ Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet)
     returnQueues_.assign(geom.lanes, {});
     globalArb_.resize(geom.maxStreamSlots + 1);
     laneIdxRr_.assign(geom.lanes, 0);
+    traceCh_ = Tracer::instance().channel("srf");
+    // Conflict degree caps at the per-cycle indexed access attempts:
+    // lanes x sub-arrays is a generous upper bound for the range.
+    conflictHist_ = &stats_.histogram("idx_conflict_degree", 0,
+        static_cast<double>(geom.lanes * geom.subArrays),
+        geom.lanes * geom.subArrays);
 }
 
 // ----------------------------------------------------------------------
@@ -595,6 +602,7 @@ void
 Srf::serviceIndexed(Cycle now)
 {
     stats_.counter("idx_grant_cycles").inc();
+    const uint64_t conflicts0 = subArrayConflicts();
     const uint32_t budgetMax = geom_.indexedPerBank(mode_);
     for (uint32_t l = 0; l < geom_.lanes; l++) {
         uint32_t budget = budgetMax;
@@ -659,6 +667,12 @@ Srf::serviceIndexed(Cycle now)
         }
         laneIdxRr_[l] = (laneIdxRr_[l] + 1) % nSlots;
     }
+    // Distribution of how many sub-array conflicts each indexed-access
+    // cycle suffered (the Figure 15/17 throughput-loss mechanism).
+    uint64_t degree = subArrayConflicts() - conflicts0;
+    conflictHist_->sample(static_cast<double>(degree));
+    if (Tracer::on() && degree > 0)
+        Tracer::instance().instant(traceCh_, "idx_conflicts", now, degree);
 }
 
 void
@@ -752,6 +766,9 @@ Srf::endCycle(Cycle now)
     int granted = idxUrgent ? static_cast<int>(nSlots)
                             : globalArb_.arbitrate(claims);
     if (granted == static_cast<int>(nSlots)) {
+        if (Tracer::on())
+            Tracer::instance().instant(traceCh_, "idx_grant", now,
+                                       idxUrgent ? 1 : 0);
         serviceIndexed(now);
     } else if (granted >= 0) {
         bool dmaServed = false;
@@ -763,6 +780,10 @@ Srf::endCycle(Cycle now)
                 break;
             }
         }
+        if (Tracer::on())
+            Tracer::instance().instant(traceCh_,
+                dmaServed ? "dma_grant" : "seq_grant", now,
+                static_cast<uint64_t>(granted));
         if (!dmaServed)
             serviceSeqSlot(granted);
     } else {
@@ -780,6 +801,15 @@ Srf::subArrayConflicts() const
     for (const auto &b : banks_)
         n += b.subArrayConflicts();
     return n;
+}
+
+uint32_t
+Srf::maxRemoteQueueDepth() const
+{
+    size_t n = 0;
+    for (const auto &b : banks_)
+        n = std::max(n, b.remoteQueueSize());
+    return static_cast<uint32_t>(n);
 }
 
 } // namespace isrf

@@ -228,6 +228,9 @@ class Srf
     uint64_t idxCrossWords() const { return idxCrossWords_; }
     uint64_t subArrayConflicts() const;
 
+    /** Deepest per-bank cross-lane request queue right now (gauge). */
+    uint32_t maxRemoteQueueDepth() const;
+
   private:
     struct LaneSlotState
     {
@@ -302,6 +305,9 @@ class Srf
     uint64_t seqWords_ = 0;
     uint64_t idxInLaneWords_ = 0;
     uint64_t idxCrossWords_ = 0;
+    uint16_t traceCh_ = 0;
+    /** Per-idx-cycle sub-array conflict-degree distribution. */
+    Histogram *conflictHist_ = nullptr;
 };
 
 } // namespace isrf

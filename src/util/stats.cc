@@ -63,6 +63,16 @@ StatGroup::average(const std::string &name)
     return averages_[name];
 }
 
+Histogram &
+StatGroup::histogram(const std::string &name, double lo, double hi,
+                     size_t buckets)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(name, Histogram(lo, hi, buckets)).first;
+    return it->second;
+}
+
 uint64_t
 StatGroup::counterValue(const std::string &name) const
 {
@@ -76,12 +86,27 @@ StatGroup::hasCounter(const std::string &name) const
     return counters_.count(name) != 0;
 }
 
+bool
+StatGroup::hasHistogram(const std::string &name) const
+{
+    return histograms_.count(name) != 0;
+}
+
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
 void
 StatGroup::resetAll()
 {
     for (auto &kv : counters_)
         kv.second.reset();
     for (auto &kv : averages_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
         kv.second.reset();
 }
 
@@ -98,6 +123,23 @@ StatGroup::formatRows() const
         rows.push_back(strprintf("%s.%s = %.4f (n=%llu)", name_.c_str(),
             kv.first.c_str(), kv.second.mean(),
             static_cast<unsigned long long>(kv.second.count())));
+    }
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        std::string buckets;
+        for (size_t i = 0; i < h.buckets().size(); i++) {
+            if (i)
+                buckets += " ";
+            buckets += strprintf("%llu",
+                static_cast<unsigned long long>(h.buckets()[i]));
+        }
+        rows.push_back(strprintf(
+            "%s.%s = mean=%.3f n=%llu [%s] uf=%llu of=%llu",
+            name_.c_str(), kv.first.c_str(), h.mean(),
+            static_cast<unsigned long long>(h.totalSamples()),
+            buckets.c_str(),
+            static_cast<unsigned long long>(h.underflow()),
+            static_cast<unsigned long long>(h.overflow())));
     }
     return rows;
 }

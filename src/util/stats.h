@@ -108,11 +108,22 @@ class StatGroup
     Counter &counter(const std::string &name);
     /** Get-or-create a named running average. */
     Average &average(const std::string &name);
+    /**
+     * Get-or-create a named histogram. The range/bucket parameters
+     * apply on first creation only; later calls return the existing
+     * histogram unchanged.
+     */
+    Histogram &histogram(const std::string &name, double lo = 0,
+                         double hi = 1, size_t buckets = 10);
 
     /** Read a counter value; 0 if never created. */
     uint64_t counterValue(const std::string &name) const;
     /** True if a counter of this name exists. */
     bool hasCounter(const std::string &name) const;
+    /** True if a histogram of this name exists. */
+    bool hasHistogram(const std::string &name) const;
+    /** Look up a histogram; nullptr if never created. */
+    const Histogram *findHistogram(const std::string &name) const;
 
     void resetAll();
 
@@ -125,6 +136,10 @@ class StatGroup
     {
         return averages_;
     }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
 
     /** Render all stats as "group.stat = value" lines. */
     std::vector<std::string> formatRows() const;
@@ -133,6 +148,7 @@ class StatGroup
     std::string name_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Average> averages_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace isrf

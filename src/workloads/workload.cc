@@ -1,5 +1,6 @@
 #include "workloads/workload.h"
 
+#include "util/json.h"
 #include "util/log.h"
 #include "workloads/fft.h"
 #include "workloads/filter.h"
@@ -52,6 +53,52 @@ harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles)
     res.srfIdxWords = m.srf().idxInLaneWords() + m.srf().idxCrossWords();
     res.cacheWords = m.mem().cache().hits();
     res.kernelBw = m.kernelBw();
+}
+
+void
+resultJson(JsonWriter &w, const WorkloadResult &res)
+{
+    w.beginObject();
+    w.field("workload", res.workload);
+    w.field("machine", std::string(machineKindName(res.kind)));
+    w.field("cycles", res.cycles);
+    w.field("correct", res.correct);
+    w.key("breakdown").beginObject();
+    w.field("loop_body", res.breakdown.loopBody);
+    w.field("mem_stall", res.breakdown.memStall);
+    w.field("srf_stall", res.breakdown.srfStall);
+    w.field("overhead", res.breakdown.overhead);
+    w.endObject();
+    w.field("dram_words", res.dramWords);
+    w.field("srf_seq_words", res.srfSeqWords);
+    w.field("srf_idx_words", res.srfIdxWords);
+    w.field("cache_words", res.cacheWords);
+    w.key("kernels").beginArray();
+    for (const auto &kv : res.kernelBw) {
+        const KernelBwRecord &r = kv.second;
+        w.beginObject();
+        w.field("name", kv.first);
+        w.field("invocations", r.invocations);
+        w.field("lane_cycles", r.laneCycles);
+        w.field("seq_words_per_lane_cycle", r.seqPerLaneCycle());
+        w.field("in_lane_words_per_lane_cycle", r.inLanePerLaneCycle());
+        w.field("cross_words_per_lane_cycle", r.crossPerLaneCycle());
+        w.endObject();
+    }
+    w.endArray();
+    w.key("extra").beginObject();
+    for (const auto &kv : res.extra)
+        w.field(kv.first, kv.second);
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+resultJson(const WorkloadResult &res)
+{
+    JsonWriter w;
+    resultJson(w, res);
+    return w.str();
 }
 
 } // namespace isrf

@@ -72,6 +72,14 @@ WorkloadResult runWorkload(const std::string &name, MachineKind kind,
 /** Fill a WorkloadResult's common fields from a finished machine. */
 void harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles);
 
+class JsonWriter;
+
+/** Append a WorkloadResult as a JSON object to an open writer. */
+void resultJson(JsonWriter &w, const WorkloadResult &res);
+
+/** A WorkloadResult as a standalone JSON object string. */
+std::string resultJson(const WorkloadResult &res);
+
 } // namespace isrf
 
 #endif // ISRF_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the event tracer: channel filtering, ring-buffer
+ * wraparound, Chrome trace-event JSON structure, CSV export, name
+ * interning, and the TraceScope RAII helper.
+ *
+ * The tracer is a process-wide singleton, so every test runs through a
+ * fixture that disables tracing and clears the buffer on both sides.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+#include "util/json.h"
+
+namespace isrf {
+namespace {
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().setCapacity(1 << 16);
+    }
+    void
+    TearDown() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().setCapacity(1 << 16);
+    }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    Tracer &t = Tracer::instance();
+    EXPECT_FALSE(Tracer::on());
+    uint16_t ch = t.channel("trace_test_off");
+    t.instant(ch, "ev", 1);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.totalRecorded(), 0u);
+}
+
+TEST_F(TraceTest, ChannelFiltering)
+{
+    Tracer &t = Tracer::instance();
+    t.enableChannels("trace_test_a");
+    EXPECT_TRUE(Tracer::on());
+    uint16_t a = t.channel("trace_test_a");
+    uint16_t b = t.channel("trace_test_b");
+    EXPECT_TRUE(t.channelEnabled(a));
+    EXPECT_FALSE(t.channelEnabled(b));
+    t.instant(a, "hit", 10);
+    t.instant(b, "filtered", 11);
+    auto evs = t.events();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].channel, a);
+    EXPECT_STREQ(evs[0].name, "hit");
+    EXPECT_EQ(evs[0].ts, 10u);
+}
+
+TEST_F(TraceTest, EnableSpecParsing)
+{
+    Tracer &t = Tracer::instance();
+    uint16_t ch = t.channel("trace_test_spec");
+    t.enableChannels("all");
+    EXPECT_TRUE(t.channelEnabled(ch));
+    t.enableChannels("0");
+    EXPECT_FALSE(Tracer::on());
+    EXPECT_FALSE(t.channelEnabled(ch));
+    // Spec names registered *before* the channel exists apply at
+    // registration time.
+    t.enableChannels("trace_test_pending, trace_test_spec");
+    uint16_t late = t.channel("trace_test_pending");
+    EXPECT_TRUE(t.channelEnabled(late));
+    EXPECT_TRUE(t.channelEnabled(ch));
+}
+
+TEST_F(TraceTest, RingWraparound)
+{
+    Tracer &t = Tracer::instance();
+    t.enableChannels("trace_test_ring");
+    uint16_t ch = t.channel("trace_test_ring");
+    t.setCapacity(8);
+    for (uint64_t i = 0; i < 20; i++)
+        t.instant(ch, "tick", i, i);
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t.totalRecorded(), 20u);
+    EXPECT_EQ(t.dropped(), 12u);
+    // The ring holds the *last* 8 events, oldest first.
+    auto evs = t.events();
+    ASSERT_EQ(evs.size(), 8u);
+    for (size_t i = 0; i < evs.size(); i++)
+        EXPECT_EQ(evs[i].arg, 12u + i);
+    // lastEvents(n < size) returns the newest n.
+    auto tail = t.lastEvents(3);
+    ASSERT_EQ(tail.size(), 3u);
+    EXPECT_EQ(tail[0].arg, 17u);
+    EXPECT_EQ(tail[2].arg, 19u);
+}
+
+TEST_F(TraceTest, ChromeJsonStructure)
+{
+    Tracer &t = Tracer::instance();
+    t.enableChannels("all");
+    uint16_t a = t.channel("trace_test_ch1");
+    uint16_t b = t.channel("trace_test_ch2");
+    t.begin(a, "span", 5);
+    t.end(a, "span", 9);
+    t.instant(b, "mark", 6, 42);
+    t.counter(b, "value", 7, 13);
+
+    std::string json = t.chromeJson();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    // Channel metadata names each tid for Perfetto.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_test_ch1\""), std::string::npos);
+    // All four phases appear.
+    EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    // Counter events carry their value; timestamps are cycles.
+    EXPECT_NE(json.find("\"value\":13"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":5"), std::string::npos);
+}
+
+TEST_F(TraceTest, CsvExport)
+{
+    Tracer &t = Tracer::instance();
+    t.enableChannels("all");
+    uint16_t ch = t.channel("trace_test_csv");
+    t.instant(ch, "ev", 3, 7);
+    std::string csv = t.csv();
+    EXPECT_EQ(csv.substr(0, csv.find('\n')),
+              "cycle,channel,type,name,arg");
+    EXPECT_NE(csv.find("3,trace_test_csv,i,ev,7"), std::string::npos);
+}
+
+TEST_F(TraceTest, InternedNamesOutliveSource)
+{
+    Tracer &t = Tracer::instance();
+    const char *p1;
+    {
+        std::string dynamic = "kernel_" + std::to_string(123);
+        p1 = t.intern(dynamic);
+    }
+    const char *p2 = t.intern("kernel_123");
+    EXPECT_EQ(p1, p2) << "same string should intern to one pointer";
+    EXPECT_STREQ(p1, "kernel_123");
+}
+
+TEST_F(TraceTest, TraceScopeEmitsBeginEnd)
+{
+    Tracer &t = Tracer::instance();
+    t.enableChannels("all");
+    uint16_t ch = t.channel("trace_test_scope");
+    {
+        TraceScope s(ch, "work", 100);
+        s.close(110);
+    }
+    auto evs = t.events();
+    ASSERT_EQ(evs.size(), 2u);
+    EXPECT_EQ(evs[0].type, TraceEventType::Begin);
+    EXPECT_EQ(evs[0].ts, 100u);
+    EXPECT_EQ(evs[1].type, TraceEventType::End);
+    EXPECT_EQ(evs[1].ts, 110u);
+}
+
+TEST_F(TraceTest, ClearKeepsRegistrations)
+{
+    Tracer &t = Tracer::instance();
+    t.enableChannels("all");
+    uint16_t ch = t.channel("trace_test_clear");
+    t.instant(ch, "ev", 1);
+    EXPECT_GE(t.size(), 1u);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_TRUE(t.channelEnabled(ch));
+    EXPECT_EQ(t.channel("trace_test_clear"), ch);
+}
+
+} // namespace
+} // namespace isrf

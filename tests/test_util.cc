@@ -4,8 +4,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
+#include "util/json.h"
 #include "util/log.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -182,6 +185,111 @@ TEST(AsciiBar, Proportional)
     EXPECT_EQ(full, std::string(10, '#'));
     EXPECT_EQ(half.substr(0, 5), std::string(5, '#'));
     EXPECT_EQ(half.size(), 10u);
+}
+
+TEST(JsonWriter, ObjectsArraysAndCommas)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", static_cast<uint64_t>(1));
+    w.field("b", std::string("two"));
+    w.key("c").beginArray();
+    w.value(static_cast<uint64_t>(3));
+    w.value(true);
+    w.beginObject();
+    w.field("d", 2.5);
+    w.endObject();
+    w.endArray();
+    w.endObject();
+    std::string s = w.str();
+    EXPECT_EQ(s, "{\"a\":1,\"b\":\"two\",\"c\":[3,true,{\"d\":2.5}]}");
+    EXPECT_TRUE(jsonValid(s));
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("k", std::string("a\"b\\c\nd\te"));
+    w.endObject();
+    std::string s = w.str();
+    EXPECT_TRUE(jsonValid(s)) << s;
+    EXPECT_NE(s.find("\\\""), std::string::npos);
+    EXPECT_NE(s.find("\\n"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("nan", std::nan(""));
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.endObject();
+    std::string s = w.str();
+    EXPECT_EQ(s, "{\"nan\":null,\"inf\":null}");
+    EXPECT_TRUE(jsonValid(s));
+}
+
+TEST(JsonValid, AcceptsAndRejects)
+{
+    EXPECT_TRUE(jsonValid("{}"));
+    EXPECT_TRUE(jsonValid("[1,2.5,-3e4,\"x\",null,true,false]"));
+    EXPECT_TRUE(jsonValid("{\"a\":{\"b\":[{}]}}"));
+    EXPECT_TRUE(jsonValid("  {\"u\":\"\\u00e9\"} "));
+    EXPECT_FALSE(jsonValid(""));
+    EXPECT_FALSE(jsonValid("{"));
+    EXPECT_FALSE(jsonValid("{\"a\":1,}"));
+    EXPECT_FALSE(jsonValid("[1 2]"));
+    EXPECT_FALSE(jsonValid("{\"a\":01}"));
+    EXPECT_FALSE(jsonValid("{} trailing"));
+    EXPECT_FALSE(jsonValid("{'a':1}"));
+    EXPECT_FALSE(jsonValid("\"unterminated"));
+}
+
+TEST(Stats, HistogramRegistersInGroup)
+{
+    StatGroup g("grp");
+    EXPECT_FALSE(g.hasHistogram("dist"));
+    Histogram &h = g.histogram("dist", 0, 8, 8);
+    EXPECT_TRUE(g.hasHistogram("dist"));
+    h.sample(0);
+    h.sample(3);
+    h.sample(3);
+    h.sample(100);  // overflow bin
+    // Re-lookup returns the same histogram; range params are ignored
+    // after creation.
+    Histogram &again = g.histogram("dist", 0, 999, 2);
+    EXPECT_EQ(&again, &h);
+    EXPECT_EQ(again.totalSamples(), 4u);
+    EXPECT_EQ(again.overflow(), 1u);
+    const Histogram *found = g.findHistogram("dist");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->buckets()[3], 2u);
+    EXPECT_EQ(g.findHistogram("missing"), nullptr);
+}
+
+TEST(Stats, HistogramRendersInFormatRows)
+{
+    StatGroup g("grp");
+    Histogram &h = g.histogram("lat", 0, 4, 4);
+    h.sample(1);
+    h.sample(2);
+    bool found = false;
+    for (const std::string &row : g.formatRows())
+        if (row.find("grp.lat") != std::string::npos) {
+            found = true;
+            EXPECT_NE(row.find("n=2"), std::string::npos) << row;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Stats, HistogramResetsWithGroup)
+{
+    StatGroup g("grp");
+    Histogram &h = g.histogram("d", 0, 4, 4);
+    h.sample(1);
+    g.resetAll();
+    EXPECT_EQ(h.totalSamples(), 0u);
 }
 
 } // namespace
