@@ -92,8 +92,11 @@ struct BenchArgs
  *   --json <path>            write run results as JSON
  *   --trace <path>           write a Chrome/Perfetto trace
  *   --trace-channels <spec>  restrict tracing (ISRF_TRACE syntax)
+ *   --faults <spec>          enable fault injection (ISRF_FAULTS syntax)
  * --trace enables all channels unless a channel spec (or ISRF_TRACE)
- * already selected some. Exits on unknown options.
+ * already selected some. --faults exports the spec as ISRF_FAULTS so
+ * every Machine built by the binary picks it up. Exits on unknown
+ * options.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv)
@@ -117,10 +120,12 @@ parseBenchArgs(int argc, char **argv)
         } else if (s == "--trace-channels") {
             Tracer::instance().enableChannels(
                 next(i, "--trace-channels"));
+        } else if (s == "--faults") {
+            setenv("ISRF_FAULTS", next(i, "--faults").c_str(), 1);
         } else if (s == "--help" || s == "-h") {
             std::printf(
                 "usage: %s [--json <path>] [--trace <path>] "
-                "[--trace-channels <spec>]\n", argv[0]);
+                "[--trace-channels <spec>] [--faults <spec>]\n", argv[0]);
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s' (try --help)\n",

@@ -1,8 +1,21 @@
 #include "core/config.h"
 
+#include <string>
+#include <vector>
+
 #include "util/log.h"
 
 namespace isrf {
+
+namespace {
+
+bool
+powerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
 
 const char *
 machineKindName(MachineKind kind)
@@ -42,17 +55,44 @@ MachineConfig::make(MachineKind kind)
 void
 MachineConfig::validate() const
 {
+    // Collect every violation before dying so a broken config can be
+    // fixed in one pass instead of one fatal() at a time.
+    std::vector<std::string> errs;
+
     if (srf.lanes == 0 || srf.seqWidth == 0 || srf.subArrays == 0)
-        fatal("MachineConfig: bad SRF geometry");
-    if (srf.laneWords % srf.seqWidth != 0)
-        fatal("MachineConfig: laneWords must be a multiple of seqWidth");
+        errs.push_back("bad SRF geometry: lanes, seqWidth and subArrays "
+                       "must all be nonzero");
+    if (srf.lanes != 0 && !powerOfTwo(srf.lanes))
+        errs.push_back("lanes must be a power of two");
+    if (srf.subArrays != 0 && !powerOfTwo(srf.subArrays))
+        errs.push_back("subArrays must be a power of two");
+    if (srf.seqWidth != 0 && srf.laneWords % srf.seqWidth != 0)
+        errs.push_back("laneWords must be a multiple of seqWidth");
+    if (srf.laneWords == 0)
+        errs.push_back("laneWords must be nonzero");
+    if (dram.wordsPerCycle <= 0)
+        errs.push_back("DRAM bandwidth (wordsPerCycle) must be positive");
+    if (dram.accessLatency == 0)
+        errs.push_back("DRAM accessLatency must be nonzero");
+    if (dram.capacityWords == 0)
+        errs.push_back("DRAM capacityWords must be nonzero");
     if (kind == MachineKind::Cache && !mem.cacheEnabled)
-        fatal("MachineConfig: Cache machine without cache enabled");
+        errs.push_back("Cache machine without cache enabled");
     if (kind != MachineKind::Cache && mem.cacheEnabled)
-        fatal("MachineConfig: cache enabled on non-Cache machine");
+        errs.push_back("cache enabled on non-Cache machine");
     if ((srfMode == SrfMode::SequentialOnly) !=
             (kind == MachineKind::Base || kind == MachineKind::Cache))
-        fatal("MachineConfig: SRF mode inconsistent with machine kind");
+        errs.push_back("SRF mode inconsistent with machine kind");
+    if (mem.units == 0)
+        errs.push_back("mem.units must be nonzero");
+
+    if (errs.empty())
+        return;
+    std::string msg = "MachineConfig: " +
+        std::to_string(errs.size()) + " violation(s):";
+    for (const auto &e : errs)
+        msg += "\n  - " + e;
+    fatal("%s", msg.c_str());
 }
 
 } // namespace isrf

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "fault/fault_config.h"
 #include "kernel/scheduler.h"
 #include "mem/cache.h"
 #include "mem/dram.h"
@@ -62,6 +63,13 @@ struct MachineConfig
 
     uint64_t seed = 1;
 
+    /**
+     * Fault-injection / ECC / degradation model (disabled by default).
+     * The ISRF_FAULTS environment variable overrides this at
+     * Machine::init time; see FaultConfig::parse for the spec syntax.
+     */
+    FaultConfig faults;
+
     std::string name() const { return machineKindName(kind); }
 
     /** Factory for each Table 2 row. */
@@ -71,7 +79,10 @@ struct MachineConfig
     static MachineConfig isrf4() { return make(MachineKind::ISRF4); }
     static MachineConfig cacheCfg() { return make(MachineKind::Cache); }
 
-    /** Sanity-check invariants; panics on nonsense. */
+    /**
+     * Check invariants. Collects every violation and reports them all
+     * in one fatal() so a bad config is fixable in a single pass.
+     */
     void validate() const;
 };
 

@@ -23,9 +23,54 @@ Machine::init(const MachineConfig &cfg)
     rng_.reseed(cfg.seed * 7919 + 13);
     engine_.add(this);
     traceCh_ = Tracer::instance().channel("machine");
+    initFaults();
     initSampler();
     breakdown_.reset();
     kernelBw_.clear();
+}
+
+void
+Machine::initFaults()
+{
+    FaultConfig fc = cfg_.faults;
+    // ISRF_FAULTS overrides the config wholesale (like ISRF_SAMPLE).
+    if (const char *env = std::getenv("ISRF_FAULTS"))
+        fc = FaultConfig::parse(env);
+    cfg_.faults = fc;
+    faultsEnabled_ = fc.enabled;
+    injector_.reset();
+    watchdog_.reset();
+    if (fc.enabled) {
+        srf_.setDegradeThreshold(fc.degradeThreshold);
+        mem_.setFaultConfig(fc);
+        injector_ = std::make_unique<FaultInjector>();
+        injector_->init(fc, cfg_.seed, &srf_, &mem_, &dataNet_);
+    }
+    if (fc.watchdogInterval > 0) {
+        watchdog_ = std::make_unique<Watchdog>();
+        // Progress = any retired work: SRF words moved, DRAM words
+        // transferred, or cluster loop-body cycles executed.
+        watchdog_->init(fc.watchdogInterval, fc.watchdogStallIntervals,
+            [this]() {
+                return srf_.seqWordsAccessed() + srf_.idxInLaneWords() +
+                    srf_.idxCrossWords() + mem_.dram().wordsTransferred() +
+                    breakdown_.loopBody;
+            });
+        engine_.add(watchdog_.get());
+    }
+}
+
+uint64_t
+Machine::scrubFaults()
+{
+    return srf_.scrubFaults() + mem_.dram().scrubEcc();
+}
+
+void
+Machine::syncFaultStats()
+{
+    srf_.syncFaultStats();
+    mem_.syncFaultStats();
 }
 
 void
@@ -43,6 +88,8 @@ Machine::initSampler()
     sampler_ = std::make_unique<StatSampler>(interval);
     sampler_->addGroup(&srf_.stats());
     sampler_->addGroup(&mem_.stats());
+    if (injector_)
+        sampler_->addGroup(&injector_->stats());
     sampler_->addCounterFn("dram.words",
         [this]() { return mem_.dram().wordsTransferred(); });
     sampler_->addCounterFn("dram.row_hits",
@@ -176,6 +223,11 @@ Machine::tick(Cycle now)
 {
     dataNet_.newCycle();
     srf_.beginCycle(now);
+
+    // Fire scheduled faults after newCycle so injected crossbar stalls
+    // survive into this cycle's arbitration.
+    if (injector_)
+        injector_->inject(now);
 
     // Statically scheduled inter-cluster traffic occupancy (Figure 18).
     if (cfg_.commOccupancy > 0) {

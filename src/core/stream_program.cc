@@ -265,6 +265,15 @@ StreamProgram::run(uint64_t maxCycles)
         updateCompletion();
         if (allDone() && machine_.mem().idle() && !machine_.kernelActive())
             break;
+        // Watchdog trip: stop gracefully with the cycles spent so far;
+        // the caller inspects Machine::watchdogTriggered() for the
+        // structured diagnostic instead of getting an abort().
+        if (machine_.watchdogTriggered()) {
+            ISRF_WARN("StreamProgram::run: watchdog tripped at cycle "
+                      "%llu; stopping",
+                      static_cast<unsigned long long>(cycles));
+            break;
+        }
         tryIssue();
         machine_.step();
         cycles++;

@@ -1,0 +1,81 @@
+#include "fault/watchdog.h"
+
+#include "sim/engine.h"
+#include "sim/trace.h"
+#include "util/json.h"
+#include "util/log.h"
+
+namespace isrf {
+
+void
+Watchdog::init(uint64_t intervalCycles, uint32_t stallIntervals,
+               ProgressFn progress)
+{
+    if (intervalCycles == 0)
+        panic("Watchdog::init: zero interval");
+    if (stallIntervals == 0)
+        panic("Watchdog::init: zero stall threshold");
+    interval_ = intervalCycles;
+    stallIntervals_ = stallIntervals;
+    progress_ = std::move(progress);
+    cyclesSinceCheck_ = 0;
+    lastProgress_ = progress_ ? progress_() : 0;
+    stalled_ = 0;
+    triggered_ = false;
+    triggeredCycle_ = 0;
+}
+
+void
+Watchdog::tick(Cycle now)
+{
+    if (triggered_ || interval_ == 0)
+        return;
+    if (++cyclesSinceCheck_ < interval_)
+        return;
+    cyclesSinceCheck_ = 0;
+    uint64_t cur = progress_ ? progress_() : 0;
+    if (cur != lastProgress_) {
+        lastProgress_ = cur;
+        stalled_ = 0;
+        return;
+    }
+    if (++stalled_ < stallIntervals_)
+        return;
+    triggered_ = true;
+    triggeredCycle_ = now;
+    // Same diagnosis aid as the runUntil deadlock path: the last
+    // grants/stalls in the trace buffer say who stopped making progress.
+    Tracer::instance().dumpTail(stderr, Engine::kDeadlockDumpEvents);
+    ISRF_WARN("watchdog: no progress for %llu cycles (%u x %llu-cycle "
+              "intervals) at cycle %llu; stopping run",
+              static_cast<unsigned long long>(
+                  static_cast<uint64_t>(stalled_) * interval_),
+              stalled_, static_cast<unsigned long long>(interval_),
+              static_cast<unsigned long long>(now));
+}
+
+std::string
+Watchdog::reportJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("triggered", triggered_);
+    w.field("triggered_cycle", static_cast<uint64_t>(triggeredCycle_));
+    w.field("interval_cycles", interval_);
+    w.field("stall_intervals", static_cast<uint64_t>(stallIntervals_));
+    w.field("last_progress", lastProgress_);
+    w.endObject();
+    return w.str();
+}
+
+void
+Watchdog::rearm()
+{
+    triggered_ = false;
+    stalled_ = 0;
+    cyclesSinceCheck_ = 0;
+    if (progress_)
+        lastProgress_ = progress_();
+}
+
+} // namespace isrf

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Engine-level progress watchdog.
+ *
+ * Generalizes the Engine::runUntil cycle-limit deadlock guard into a
+ * ticked progress monitor: every `interval` cycles it samples a
+ * monotonically increasing retired-work metric; after `stallIntervals`
+ * consecutive intervals without progress it trips, records a
+ * structured diagnostic (JSON) plus the trace tail, and lets the run
+ * exit through a distinct status (RunStatus::Stalled) instead of an
+ * abort.
+ */
+#ifndef ISRF_FAULT_WATCHDOG_H
+#define ISRF_FAULT_WATCHDOG_H
+
+#include <functional>
+#include <string>
+
+#include "sim/ticked.h"
+
+namespace isrf {
+
+/** Ticked component monitoring a retired-work metric for progress. */
+class Watchdog : public Ticked
+{
+  public:
+    /** Returns the machine's monotonically increasing progress count. */
+    using ProgressFn = std::function<uint64_t()>;
+
+    void init(uint64_t intervalCycles, uint32_t stallIntervals,
+              ProgressFn progress);
+
+    void tick(Cycle now) override;
+    std::string tickedName() const override { return "watchdog"; }
+
+    /** True once the stall threshold has been reached. */
+    bool triggered() const { return triggered_; }
+    Cycle triggeredCycle() const { return triggeredCycle_; }
+    uint64_t lastProgress() const { return lastProgress_; }
+
+    /** Structured diagnostic of the (last) trip as a JSON object. */
+    std::string reportJson() const;
+
+    /** Re-arm after a trip (diagnostics are kept until the next one). */
+    void rearm();
+
+  private:
+    uint64_t interval_ = 0;
+    uint32_t stallIntervals_ = 4;
+    ProgressFn progress_;
+
+    uint64_t cyclesSinceCheck_ = 0;
+    uint64_t lastProgress_ = 0;
+    uint32_t stalled_ = 0;
+    bool triggered_ = false;
+    Cycle triggeredCycle_ = 0;
+};
+
+} // namespace isrf
+
+#endif // ISRF_FAULT_WATCHDOG_H

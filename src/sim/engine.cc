@@ -30,7 +30,7 @@ Engine::steps(uint64_t n)
         step();
 }
 
-uint64_t
+RunResult
 Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
 {
     uint64_t executed = 0;
@@ -39,15 +39,27 @@ Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
             // Dump the tail of the event trace first: a deadlocked
             // model's last grants/stalls are the diagnosis.
             Tracer::instance().dumpTail(stderr, kDeadlockDumpEvents);
-            panic("Engine::runUntil: cycle limit %llu exceeded at cycle "
-                  "%llu (model deadlock?)",
-                  static_cast<unsigned long long>(limit),
-                  static_cast<unsigned long long>(now_));
+            ISRF_WARN("Engine::runUntil: cycle limit %llu exceeded at "
+                      "cycle %llu (model deadlock?)",
+                      static_cast<unsigned long long>(limit),
+                      static_cast<unsigned long long>(now_));
+            return {RunStatus::Limit, executed};
         }
         step();
         executed++;
     }
-    return executed;
+    return {RunStatus::Done, executed};
+}
+
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Done: return "done";
+      case RunStatus::Limit: return "limit";
+      case RunStatus::Stalled: return "stalled";
+    }
+    return "?";
 }
 
 } // namespace isrf

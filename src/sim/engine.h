@@ -12,6 +12,25 @@
 
 namespace isrf {
 
+/** How a runUntil() loop ended. */
+enum class RunStatus : uint8_t {
+    Done,     ///< the predicate was satisfied
+    Limit,    ///< the cycle limit was hit (likely a model deadlock)
+    Stalled,  ///< a progress watchdog tripped (see fault/watchdog.h)
+};
+
+const char *runStatusName(RunStatus status);
+
+/** Outcome of a runUntil() call. */
+struct RunResult
+{
+    RunStatus status = RunStatus::Done;
+    /** Cycles executed by this call. */
+    uint64_t cycles = 0;
+
+    bool done() const { return status == RunStatus::Done; }
+};
+
 /**
  * Fixed-order synchronous simulation engine.
  *
@@ -36,20 +55,20 @@ class Engine
     void steps(uint64_t n);
 
     /**
-     * Step until done() returns true.
+     * Step until done() returns true or `limit` cycles have run.
      *
-     * On hitting `limit` the engine dumps the last trace-buffer events
-     * to stderr (see sim/trace.h) before panicking, so deadlocks are
-     * diagnosable when tracing is enabled.
+     * On hitting the limit the engine dumps the last trace-buffer
+     * events to stderr (see sim/trace.h) and returns RunStatus::Limit
+     * so callers can assert on deadlock behavior; it never panics.
      *
      * @param done Predicate checked after each cycle.
-     * @param limit Max cycles to run before panicking (deadlock guard).
-     * @return Number of cycles executed by this call.
+     * @param limit Max cycles to run (deadlock guard).
+     * @return Status and the number of cycles executed by this call.
      */
-    uint64_t runUntil(const std::function<bool()> &done,
-                      uint64_t limit = 1ull << 32);
+    RunResult runUntil(const std::function<bool()> &done,
+                       uint64_t limit = 1ull << 32);
 
-    /** Trace events dumped to stderr on a runUntil deadlock panic. */
+    /** Trace events dumped to stderr when runUntil hits its limit. */
     static constexpr size_t kDeadlockDumpEvents = 48;
 
     /** Current simulation time in cycles. */

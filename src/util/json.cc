@@ -123,6 +123,14 @@ JsonWriter::value(bool v)
     return *this;
 }
 
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    preValue();
+    out_ << json;
+    return *this;
+}
+
 std::string
 JsonWriter::escape(const std::string &s)
 {

@@ -44,6 +44,9 @@ class JsonWriter
     }
     JsonWriter &value(bool v);
 
+    /** Splice pre-serialized JSON in value position (caller-validated). */
+    JsonWriter &raw(const std::string &json);
+
     /** key + value in one call. */
     template <typename T>
     JsonWriter &

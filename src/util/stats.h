@@ -24,6 +24,8 @@ class Counter
     Counter() = default;
 
     void inc(uint64_t n = 1) { value_ += n; }
+    /** Overwrite with an externally maintained (monotonic) count. */
+    void set(uint64_t v) { value_ = v; }
     void reset() { value_ = 0; }
     uint64_t value() const { return value_; }
 

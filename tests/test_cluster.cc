@@ -86,7 +86,7 @@ TEST(Cluster, IterationPacingFollowsII)
     EXPECT_EQ(ii, 2u);
     m.launchKernel(inv);
     uint64_t cycles = m.runUntil([&]() { return !m.kernelActive(); },
-                                 100000);
+                                 100000).cycles;
     // startOverhead + fill + iters*II + drain + flush, with slack.
     uint64_t lower = m.config().kernelStartOverhead + iters * ii;
     EXPECT_GE(cycles, lower);

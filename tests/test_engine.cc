@@ -47,18 +47,33 @@ TEST(Engine, RunUntilStopsOnPredicate)
     Engine e;
     CountingComponent a;
     e.add(&a);
-    uint64_t ran = e.runUntil([&]() { return a.ticks >= 42; });
-    EXPECT_EQ(ran, 42u);
+    RunResult r = e.runUntil([&]() { return a.ticks >= 42; });
+    EXPECT_EQ(r.status, RunStatus::Done);
+    EXPECT_TRUE(r.done());
+    EXPECT_EQ(r.cycles, 42u);
     EXPECT_EQ(e.now(), 42u);
 }
 
-TEST(Engine, RunUntilLimitPanics)
+TEST(Engine, RunUntilLimitReturnsStatus)
 {
     Engine e;
     CountingComponent a;
     e.add(&a);
-    EXPECT_DEATH(e.runUntil([]() { return false; }, 100),
-                 "cycle limit");
+    RunResult r = e.runUntil([]() { return false; }, 100);
+    EXPECT_EQ(r.status, RunStatus::Limit);
+    EXPECT_FALSE(r.done());
+    EXPECT_EQ(r.cycles, 100u);
+    // The engine keeps running normally after a limit return.
+    EXPECT_EQ(e.now(), 100u);
+    RunResult r2 = e.runUntil([&]() { return a.ticks >= 150; }, 1000);
+    EXPECT_EQ(r2.status, RunStatus::Done);
+}
+
+TEST(Engine, RunStatusNames)
+{
+    EXPECT_STREQ(runStatusName(RunStatus::Done), "done");
+    EXPECT_STREQ(runStatusName(RunStatus::Limit), "limit");
+    EXPECT_STREQ(runStatusName(RunStatus::Stalled), "stalled");
 }
 
 TEST(Engine, NullComponentPanics)

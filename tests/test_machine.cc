@@ -80,7 +80,7 @@ TEST_P(MachineTest, CopyKernelEndToEnd)
     m.launchKernel(inv);
     EXPECT_TRUE(m.kernelActive());
     uint64_t cycles = m.runUntil([&]() { return !m.kernelActive(); },
-                                 200000);
+                                 200000).cycles;
     EXPECT_GT(cycles, 0u);
     EXPECT_EQ(m.srf().dumpSlot(out), data);
 }

@@ -230,6 +230,83 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull)
     EXPECT_TRUE(jsonValid(s));
 }
 
+/**
+ * Seeded writer->validator fuzz: every document the streaming writer
+ * can emit (random nesting, keys, escapes, numeric extremes) must pass
+ * the strict structural validator.
+ */
+class JsonFuzzer
+{
+  public:
+    explicit JsonFuzzer(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    document()
+    {
+        JsonWriter w;
+        value(w, 0);
+        return w.str();
+    }
+
+  private:
+    void
+    value(JsonWriter &w, int depth)
+    {
+        uint64_t pick = rng_.below(depth >= 4 ? 5 : 7);
+        switch (pick) {
+          case 0: w.value(randomString()); break;
+          case 1: w.value(rng_.next()); break;
+          case 2:
+            w.value(static_cast<int64_t>(rng_.next()));
+            break;
+          case 3: w.value(rng_.uniform() * 1e9 - 5e8); break;
+          case 4: w.value(rng_.chance(0.5)); break;
+          case 5: {  // object
+            w.beginObject();
+            uint64_t n = rng_.below(4);
+            for (uint64_t i = 0; i < n; i++) {
+                w.key(randomString() + std::to_string(i));
+                value(w, depth + 1);
+            }
+            w.endObject();
+            break;
+          }
+          default: {  // array
+            w.beginArray();
+            uint64_t n = rng_.below(4);
+            for (uint64_t i = 0; i < n; i++)
+                value(w, depth + 1);
+            w.endArray();
+            break;
+          }
+        }
+    }
+
+    std::string
+    randomString()
+    {
+        static const char pool[] =
+            "abcXYZ 019 \"quote\" \\back\nnew\ttab/\b\f\r";
+        std::string s;
+        uint64_t n = rng_.below(12);
+        for (uint64_t i = 0; i < n; i++)
+            s += pool[rng_.below(sizeof(pool) - 1)];
+        return s;
+    }
+
+    Rng rng_;
+};
+
+TEST(JsonFuzz, WriterOutputAlwaysValidates)
+{
+    for (uint64_t seed = 1; seed <= 1000; seed++) {
+        JsonFuzzer fuzz(seed * 2654435761ull);
+        std::string doc = fuzz.document();
+        EXPECT_TRUE(jsonValid(doc))
+            << "seed " << seed << " produced invalid JSON: " << doc;
+    }
+}
+
 TEST(JsonValid, AcceptsAndRejects)
 {
     EXPECT_TRUE(jsonValid("{}"));
