@@ -24,7 +24,9 @@ main(int argc, char **argv)
 
     WorkloadOptions opts;
     opts.repeats = 2;
-    ResultCache cache(opts);
+    ResultCache cache(opts, args.jobs);
+    cache.prefetch(benchmarkOrder(),
+                   {MachineKind::Base, MachineKind::ISRF4});
     EnergyModel energy;
 
     auto estimate = [&](const WorkloadResult &r) {

@@ -47,7 +47,9 @@ main(int argc, char **argv)
 
     WorkloadOptions opts;
     opts.repeats = 2;
-    ResultCache cache(opts);
+    ResultCache cache(opts, args.jobs);
+    cache.prefetch({"Sort", "Filter"},
+                   {MachineKind::ISRF4, MachineKind::ISRF1});
 
     const std::vector<std::pair<std::string, MachineKind>> runs = {
         {"Sort", MachineKind::ISRF4},

@@ -23,7 +23,10 @@ main(int argc, char **argv)
 
     WorkloadOptions opts;
     opts.repeats = 2;
-    ResultCache cache(opts);
+    ResultCache cache(opts, args.jobs);
+    cache.prefetch(benchmarkOrder(),
+                   {MachineKind::Base, MachineKind::ISRF4,
+                    MachineKind::Cache});
 
     Table t({"Benchmark", "Base (words)", "ISRF", "Cache"});
     double maxReduction = 0;

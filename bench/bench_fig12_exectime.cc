@@ -20,7 +20,8 @@ main(int argc, char **argv)
 
     WorkloadOptions opts;
     opts.repeats = 2;
-    ResultCache cache(opts);
+    ResultCache cache(opts, args.jobs);
+    cache.prefetch(benchmarkOrder(), machineOrder());
 
     Table t({"Benchmark", "Config", "Total", "Loop", "MemStall",
              "SrfStall", "Overhead", "Speedup"});

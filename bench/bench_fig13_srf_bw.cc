@@ -9,6 +9,8 @@
  * users (~0.3-0.5); everything stays well under the peak bandwidths,
  * but the bursty patterns rely on decoupled early address issue.
  */
+#include <algorithm>
+
 #include "bench_util.h"
 
 using namespace isrf;
@@ -23,7 +25,7 @@ main(int argc, char **argv)
 
     WorkloadOptions opts;
     opts.repeats = 2;
-    ResultCache cache(opts);
+    ResultCache cache(opts, args.jobs);
 
     // Kernel -> owning benchmark (for running the right workload).
     const std::vector<std::pair<std::string, std::string>> kernels = {
@@ -32,6 +34,14 @@ main(int argc, char **argv)
         {"filter", "Filter"},    {"igraph1", "IG_SML"},
         {"igraph2", "IG_SCL"},
     };
+    {
+        std::vector<std::string> benches;
+        for (const auto &[kernel, benchName] : kernels)
+            if (std::find(benches.begin(), benches.end(), benchName) ==
+                benches.end())
+                benches.push_back(benchName);
+        cache.prefetch(benches, {MachineKind::ISRF4});
+    }
 
     Table t({"Kernel", "Sequential", "In-lane idx", "Cross-lane idx",
              "Total"});

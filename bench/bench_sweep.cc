@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Full-matrix parallel sweep: every paper benchmark on every machine
+ * configuration (8 x 4 = 32 independent simulations) through the
+ * SweepRunner thread pool.
+ *
+ * Prints per-job wall time, total wall time, and the aggregate
+ * parallel speedup (sum of job times / sweep wall time). The --json
+ * results report contains *only* simulation results — no timing — so
+ * it is byte-identical for any --jobs value; timing goes to the
+ * separate --timing-json report.
+ */
+#include <cinttypes>
+
+#include "bench_util.h"
+
+using namespace isrf;
+using namespace isrf::bench;
+
+namespace {
+
+void
+writeTimingJson(const std::string &path, const SweepRunner &runner,
+                const std::vector<SweepOutcome> &outcomes)
+{
+    const SweepTiming &t = runner.timing();
+    JsonWriter w;
+    w.beginObject();
+    w.key("threads").value(static_cast<uint64_t>(t.threads));
+    w.key("wall_seconds").value(t.wallSeconds);
+    w.key("sum_job_seconds").value(t.sumJobSeconds);
+    w.key("speedup").value(t.speedup());
+    w.key("jobs").beginArray();
+    for (const auto &o : outcomes) {
+        w.beginObject();
+        w.key("workload").value(o.workload);
+        w.key("machine").value(machineKindName(o.kind));
+        w.key("wall_seconds").value(o.wallSeconds);
+        w.key("cycles").value(o.result.cycles);
+        w.key("correct").value(o.result.correct);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (writeTextFile(path, w.str()))
+        std::fprintf(stderr, "wrote timing JSON to %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "ERROR: could not write %s\n",
+                     path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Peel off --timing-json before the shared parser sees it.
+    std::string timingPath;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; i++) {
+        if (std::string(argv[i]) == "--timing-json" && i + 1 < argc) {
+            timingPath = argv[++i];
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    BenchArgs args = parseBenchArgs(static_cast<int>(rest.size()),
+                                    rest.data());
+    heading("Parallel full-matrix sweep (8 benchmarks x 4 configs)",
+            "driver for Figures 11-13 data; results are --jobs "
+            "invariant");
+
+    WorkloadOptions opts;
+    opts.repeats = 2;
+    auto jobs = SweepRunner::matrix(benchmarkOrder(), machineOrder(),
+                                    opts);
+
+    SweepRunner runner(args.jobs);
+    std::printf("running %zu jobs on %u thread(s)...\n\n", jobs.size(),
+                args.jobs);
+    auto outcomes = runner.run(jobs,
+        [](const SweepJob &job, bool finished, size_t done,
+           size_t total) {
+            if (finished)
+                progressf("  [%zu/%zu] %s on %s done\n", done, total,
+                          job.workload.c_str(),
+                          job.cfg.name().c_str());
+        });
+
+    Table t({"Benchmark", "Config", "Cycles", "Correct", "Wall (s)"});
+    bool allCorrect = true;
+    for (const auto &o : outcomes) {
+        allCorrect = allCorrect && o.result.correct;
+        t.addRow({o.workload, machineKindName(o.kind),
+                  std::to_string(o.result.cycles),
+                  o.result.correct ? "yes" : "NO",
+                  fmtDouble(o.wallSeconds, 3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    const SweepTiming &timing = runner.timing();
+    std::printf("threads:            %u\n", timing.threads);
+    std::printf("total wall time:    %.3f s\n", timing.wallSeconds);
+    std::printf("sum of job times:   %.3f s\n", timing.sumJobSeconds);
+    std::printf("aggregate speedup:  %.2fx\n", timing.speedup());
+    std::printf("all correct:        %s\n", allCorrect ? "yes" : "NO");
+
+    if (!args.jsonPath.empty()) {
+        // Deterministic, timing-free: byte-identical across --jobs.
+        std::map<std::string, WorkloadResult> results;
+        for (const auto &o : outcomes)
+            results.emplace(o.workload + "/" + machineKindName(o.kind),
+                            o.result);
+        writeBenchJson(args.jsonPath, results);
+    }
+    if (!timingPath.empty())
+        writeTimingJson(timingPath, runner, outcomes);
+    BenchArgs traceOnly = args;
+    traceOnly.jsonPath.clear();
+    finishBench(traceOnly);
+    return allCorrect ? 0 : 1;
+}

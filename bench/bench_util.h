@@ -1,19 +1,24 @@
 /**
  * @file
  * Shared helpers for the benchmark harnesses: standard benchmark and
- * configuration lists, result caching across a binary's tables, and
- * printing conventions.
+ * configuration lists, result caching across a binary's tables
+ * (optionally filled in parallel by the sweep driver), and printing
+ * conventions.
  */
 #ifndef ISRF_BENCH_BENCH_UTIL_H
 #define ISRF_BENCH_BENCH_UTIL_H
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "driver/sweep_runner.h"
 #include "sim/trace.h"
+#include "util/env.h"
 #include "util/json.h"
 #include "util/table.h"
 #include "workloads/workload.h"
@@ -42,27 +47,112 @@ machineOrder()
     return kinds;
 }
 
-/** Runs-and-caches workload results within one bench binary. */
+// ----------------------------------------------------------------------
+// Progress printing
+// ----------------------------------------------------------------------
+
+/** Suppress progress chatter (--quiet). Results still print. */
+inline bool &
+quietFlag()
+{
+    static bool quiet = false;
+    return quiet;
+}
+
+/**
+ * Mutex-guarded progress printer: whole lines go to stderr atomically,
+ * so concurrent sweep workers can't interleave garbled output.
+ * Silenced by --quiet.
+ */
+inline void
+progressf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+inline void
+progressf(const char *fmt, ...)
+{
+    static std::mutex mu;
+    if (quietFlag())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[512];
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    std::lock_guard<std::mutex> lock(mu);
+    std::fputs(buf, stderr);
+}
+
+// ----------------------------------------------------------------------
+// Result cache
+// ----------------------------------------------------------------------
+
+/**
+ * Runs-and-caches workload results within one bench binary.
+ *
+ * With jobs > 1, prefetch() fills the cache through the SweepRunner
+ * thread pool; get() then serves hits. Results are identical to the
+ * serial path — each job runs in an isolated simulation context.
+ */
 class ResultCache
 {
   public:
-    explicit ResultCache(WorkloadOptions opts = {}) : opts_(opts) {}
+    explicit ResultCache(WorkloadOptions opts = {}, unsigned jobs = 1)
+        : opts_(opts), jobs_(jobs ? jobs : 1)
+    {
+    }
+
+    void setJobs(unsigned jobs) { jobs_ = jobs ? jobs : 1; }
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run every (workload, kind) pair not yet cached, `jobs_`-wide
+     * in parallel, and cache the results in deterministic order.
+     */
+    void
+    prefetch(const std::vector<std::string> &names,
+             const std::vector<MachineKind> &kinds)
+    {
+        std::vector<SweepJob> jobs;
+        for (const auto &name : names) {
+            for (MachineKind kind : kinds) {
+                if (cache_.count(key(name, kind)))
+                    continue;
+                SweepJob j;
+                j.workload = name;
+                j.cfg = MachineConfig::make(kind).fromEnv();
+                j.opts = opts_;
+                jobs.push_back(std::move(j));
+            }
+        }
+        if (jobs.empty())
+            return;
+        SweepRunner runner(jobs_);
+        auto outcomes = runner.run(jobs,
+            [](const SweepJob &job, bool finished, size_t done,
+               size_t total) {
+                progressf("  [%s %s on %s (%zu/%zu)]\n",
+                          finished ? "finished" : "running",
+                          job.workload.c_str(), job.cfg.name().c_str(),
+                          done, total);
+            });
+        for (auto &o : outcomes) {
+            warnIncorrect(o.workload, o.kind, o.result);
+            cache_.emplace(key(o.workload, o.kind),
+                           std::move(o.result));
+        }
+    }
 
     const WorkloadResult &
     get(const std::string &name, MachineKind kind)
     {
-        auto key = name + "/" + machineKindName(kind);
-        auto it = cache_.find(key);
+        auto k = key(name, kind);
+        auto it = cache_.find(k);
         if (it == cache_.end()) {
-            std::fprintf(stderr, "  [running %s on %s...]\n",
-                         name.c_str(), machineKindName(kind));
-            it = cache_.emplace(key,
-                                runWorkload(name, kind, opts_)).first;
-            if (!it->second.correct) {
-                std::fprintf(stderr,
-                    "  WARNING: %s on %s failed functional validation\n",
-                    name.c_str(), machineKindName(kind));
-            }
+            progressf("  [running %s on %s...]\n", name.c_str(),
+                      machineKindName(kind));
+            it = cache_.emplace(k, runWorkload(name, kind, opts_)).first;
+            warnIncorrect(name, kind, it->second);
         }
         return it->second;
     }
@@ -76,15 +166,42 @@ class ResultCache
     }
 
   private:
+    static std::string
+    key(const std::string &name, MachineKind kind)
+    {
+        return name + "/" + machineKindName(kind);
+    }
+
+    static void
+    warnIncorrect(const std::string &name, MachineKind kind,
+                  const WorkloadResult &res)
+    {
+        if (res.correct)
+            return;
+        // Not progress chatter: always printed, but still atomic.
+        bool wasQuiet = quietFlag();
+        quietFlag() = false;
+        progressf("  WARNING: %s on %s failed functional validation\n",
+                  name.c_str(), machineKindName(kind));
+        quietFlag() = wasQuiet;
+    }
+
     WorkloadOptions opts_;
+    unsigned jobs_ = 1;
     std::map<std::string, WorkloadResult> cache_;
 };
+
+// ----------------------------------------------------------------------
+// Command-line options
+// ----------------------------------------------------------------------
 
 /** Common command-line options shared by every bench binary. */
 struct BenchArgs
 {
     std::string jsonPath;   ///< --json: machine-readable results
     std::string tracePath;  ///< --trace: Chrome trace-event JSON
+    unsigned jobs = 1;      ///< --jobs: sweep thread-pool width
+    bool quiet = false;     ///< --quiet: suppress progress chatter
 };
 
 /**
@@ -93,10 +210,12 @@ struct BenchArgs
  *   --trace <path>           write a Chrome/Perfetto trace
  *   --trace-channels <spec>  restrict tracing (ISRF_TRACE syntax)
  *   --faults <spec>          enable fault injection (ISRF_FAULTS syntax)
+ *   --jobs <n>               run independent simulations n-wide
+ *   --quiet                  suppress progress output
  * --trace enables all channels unless a channel spec (or ISRF_TRACE)
- * already selected some. --faults exports the spec as ISRF_FAULTS so
- * every Machine built by the binary picks it up. Exits on unknown
- * options.
+ * already selected some. --faults/--trace-channels export their specs
+ * into the environment so every MachineConfig::fromEnv() snapshot
+ * taken afterwards picks them up. Exits on unknown options.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv)
@@ -118,14 +237,31 @@ parseBenchArgs(int argc, char **argv)
         } else if (s == "--trace") {
             args.tracePath = next(i, "--trace");
         } else if (s == "--trace-channels") {
-            Tracer::instance().enableChannels(
-                next(i, "--trace-channels"));
+            std::string spec = next(i, "--trace-channels");
+            // Machines snapshot ISRF_TRACE via fromEnv(); the global
+            // shim gates trace merging and does the export.
+            setenv("ISRF_TRACE", spec.c_str(), 1);
+            Tracer::instance().enableChannels(spec);
         } else if (s == "--faults") {
             setenv("ISRF_FAULTS", next(i, "--faults").c_str(), 1);
+        } else if (s == "--jobs") {
+            std::string v = next(i, "--jobs");
+            uint64_t n = 0;
+            if (!parseU64(v, n) || n == 0 || n > 1024) {
+                std::fprintf(stderr,
+                             "--jobs expects an integer in [1,1024], "
+                             "got '%s'\n", v.c_str());
+                std::exit(2);
+            }
+            args.jobs = static_cast<unsigned>(n);
+        } else if (s == "--quiet") {
+            args.quiet = true;
+            quietFlag() = true;
         } else if (s == "--help" || s == "-h") {
             std::printf(
                 "usage: %s [--json <path>] [--trace <path>] "
-                "[--trace-channels <spec>] [--faults <spec>]\n", argv[0]);
+                "[--trace-channels <spec>] [--faults <spec>] "
+                "[--jobs <n>] [--quiet]\n", argv[0]);
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s' (try --help)\n",
@@ -133,8 +269,10 @@ parseBenchArgs(int argc, char **argv)
             std::exit(2);
         }
     }
-    if (!args.tracePath.empty() && !Tracer::on())
+    if (!args.tracePath.empty() && !Tracer::instance().on()) {
+        setenv("ISRF_TRACE", "all", 1);
         Tracer::instance().enableChannels("all");
+    }
     return args;
 }
 

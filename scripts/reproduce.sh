@@ -12,18 +12,27 @@ cmake --build "$BUILD"
 echo "==> running tests"
 ctest --test-dir "$BUILD" -j"$(nproc)" 2>&1 | tee test_output.txt | tail -3
 
-echo "==> running paper benches (Tables 2-4, Figures 11-18, ablations)"
+JOBS="$(nproc)"
 REPORTS="$BUILD/reports"
 mkdir -p "$REPORTS"
+
+echo "==> full-matrix parallel sweep ($JOBS jobs)"
+"$BUILD/bench/bench_sweep" --jobs "$JOBS" --quiet \
+    --json "$REPORTS/bench_sweep.json" \
+    --timing-json "$REPORTS/bench_sweep_timing.json" \
+    | grep -E "wall time|speedup|all correct"
+
+echo "==> running paper benches (Tables 2-4, Figures 11-18, ablations)"
 for b in "$BUILD"/bench/bench_*; do
     [ -x "$b" ] || continue
     name="$(basename "$b")"
+    [ "$name" = bench_sweep ] && continue   # already run above
     echo "############ $name ############"
     if [ "$name" = bench_components ]; then
         # google-benchmark binary: no --json/--trace support.
         "$b"
     else
-        "$b" --json "$REPORTS/$name.json"
+        "$b" --jobs "$JOBS" --json "$REPORTS/$name.json"
     fi
 done 2>/dev/null | tee bench_output.txt | grep -E "^Reproduces|speedup range"
 

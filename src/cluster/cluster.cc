@@ -60,12 +60,14 @@ KernelInvocation::finalize()
 }
 
 void
-Cluster::init(uint32_t lane, Srf *srf, Crossbar *dataNet)
+Cluster::init(uint32_t lane, Srf *srf, Crossbar *dataNet,
+              Tracer *tracer)
 {
+    trc_ = tracer ? tracer : &Tracer::instance();
     lane_ = lane;
     srf_ = srf;
     dataNet_ = dataNet;
-    traceCh_ = Tracer::instance().channel("cluster");
+    traceCh_ = trc_->channel("cluster");
 }
 
 void
@@ -89,8 +91,8 @@ Cluster::bind(const KernelInvocation *inv, Cycle now)
     pendingIdxR_.assign(nSlots, {});
     pendingIdxW_.assign(nSlots, {});
     doneReported_ = false;
-    if (Tracer::on())
-        Tracer::instance().instant(traceCh_, "bind", now, lane_);
+    if (trc_->on())
+        trc_->instant(traceCh_, "bind", now, lane_);
 }
 
 void
@@ -275,8 +277,8 @@ Cluster::tick(Cycle now)
     if (itersIssued_ >= total) {
         if (!doneReported_) {
             doneReported_ = true;
-            if (Tracer::on())
-                Tracer::instance().instant(traceCh_, "lane_done", now,
+            if (trc_->on())
+                trc_->instant(traceCh_, "lane_done", now,
                                            lane_);
         }
         // Pipe drain / waiting for other lanes: kernel overhead

@@ -25,6 +25,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 /** One indexed write in a trace: target record + data words. */
 struct IdxWriteTraceEntry
 {
@@ -108,7 +110,8 @@ struct LaneCycles
 class Cluster
 {
   public:
-    void init(uint32_t lane, Srf *srf, Crossbar *dataNet);
+    void init(uint32_t lane, Srf *srf, Crossbar *dataNet,
+              Tracer *tracer = nullptr);
 
     /** Attach this lane to a kernel invocation starting at `now`. */
     void bind(const KernelInvocation *inv, Cycle now);
@@ -173,6 +176,7 @@ class Cluster
     LaneCycles cycles_;
     CycleCat lastCat_ = CycleCat::Idle;
 
+    Tracer *trc_ = nullptr;  ///< owning machine's tracer
     uint16_t traceCh_ = 0;
     bool doneReported_ = false;  ///< "lane_done" emitted for this bind
 };

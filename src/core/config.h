@@ -56,8 +56,7 @@ struct MachineConfig
 
     /**
      * Snapshot machine stats every N cycles into the StatSampler
-     * (0 = sampling off). The ISRF_SAMPLE environment variable
-     * overrides this at Machine::init time.
+     * (0 = sampling off). fromEnv() overlays ISRF_SAMPLE here.
      */
     uint64_t statSampleInterval = 0;
 
@@ -65,19 +64,42 @@ struct MachineConfig
 
     /**
      * Fault-injection / ECC / degradation model (disabled by default).
-     * The ISRF_FAULTS environment variable overrides this at
-     * Machine::init time; see FaultConfig::parse for the spec syntax.
+     * fromEnv() overlays ISRF_FAULTS here; see FaultConfig::parse for
+     * the spec syntax.
      */
     FaultConfig faults;
 
+    /**
+     * Channel spec for the machine's own event tracer (sim/trace.h
+     * ISRF_TRACE syntax; "" = tracing off). fromEnv() overlays
+     * ISRF_TRACE here.
+     */
+    std::string traceSpec;
+
+    /** Trace ring capacity in events (ISRF_TRACE_CAPACITY). */
+    uint64_t traceCapacity = 1 << 16;
+
     std::string name() const { return machineKindName(kind); }
 
-    /** Factory for each Table 2 row. */
+    /** Factory for each Table 2 row. Never reads the environment. */
     static MachineConfig make(MachineKind kind);
     static MachineConfig base() { return make(MachineKind::Base); }
     static MachineConfig isrf1() { return make(MachineKind::ISRF1); }
     static MachineConfig isrf4() { return make(MachineKind::ISRF4); }
     static MachineConfig cacheCfg() { return make(MachineKind::Cache); }
+
+    /**
+     * Overlay the ISRF_* environment overrides (ISRF_FAULTS,
+     * ISRF_SAMPLE, ISRF_TRACE, ISRF_TRACE_CAPACITY) onto this config
+     * and return it. This is the ONE place the environment is
+     * consulted: Machine::init reads only the config it is handed, so
+     * machines built in the same process can never observe each
+     * other's configuration. Malformed numeric values are collected
+     * and reported in a single warning, then defaulted (a bad
+     * ISRF_FAULTS spec is still a user error and fatal()s, as
+     * before).
+     */
+    MachineConfig &fromEnv();
 
     /**
      * Check invariants. Collects every violation and reports them all

@@ -1,8 +1,5 @@
 #include "core/machine.h"
 
-#include <cstdlib>
-
-#include "sim/trace.h"
 #include "util/log.h"
 
 namespace isrf {
@@ -12,17 +9,27 @@ Machine::init(const MachineConfig &cfg)
 {
     cfg.validate();
     cfg_ = cfg;
+    // The machine's private tracer: nothing here reads the
+    // environment — env overrides belong in MachineConfig::fromEnv().
+    if (!cfg_.traceSpec.empty()) {
+        tracer_.setCapacity(cfg_.traceCapacity);
+        tracer_.enableChannels(cfg_.traceSpec);
+    } else {
+        tracer_.disable();
+        tracer_.clear();
+    }
+    engine_.setTracer(&tracer_, cfg_.name());
     dataNet_.init(cfg.srf.lanes, 1, 1, cfg.srf.netTopology);
-    srf_.init(cfg.srf, cfg.srfMode, &dataNet_);
-    mem_.init(cfg.mem, cfg.dram, cfg.cache, &srf_);
+    srf_.init(cfg.srf, cfg.srfMode, &dataNet_, &tracer_);
+    mem_.init(cfg.mem, cfg.dram, cfg.cache, &srf_, &tracer_);
     clusters_.assign(cfg.srf.lanes, Cluster());
     for (uint32_t l = 0; l < cfg.srf.lanes; l++)
-        clusters_[l].init(l, &srf_, &dataNet_);
+        clusters_[l].init(l, &srf_, &dataNet_, &tracer_);
     alloc_.init(cfg.srf);
     scheduler_ = ModuloScheduler(cfg.cluster, cfg.seed);
     rng_.reseed(cfg.seed * 7919 + 13);
     engine_.add(this);
-    traceCh_ = Tracer::instance().channel("machine");
+    traceCh_ = tracer_.channel("machine");
     initFaults();
     initSampler();
     breakdown_.reset();
@@ -32,11 +39,7 @@ Machine::init(const MachineConfig &cfg)
 void
 Machine::initFaults()
 {
-    FaultConfig fc = cfg_.faults;
-    // ISRF_FAULTS overrides the config wholesale (like ISRF_SAMPLE).
-    if (const char *env = std::getenv("ISRF_FAULTS"))
-        fc = FaultConfig::parse(env);
-    cfg_.faults = fc;
+    const FaultConfig &fc = cfg_.faults;
     faultsEnabled_ = fc.enabled;
     injector_.reset();
     watchdog_.reset();
@@ -44,7 +47,8 @@ Machine::initFaults()
         srf_.setDegradeThreshold(fc.degradeThreshold);
         mem_.setFaultConfig(fc);
         injector_ = std::make_unique<FaultInjector>();
-        injector_->init(fc, cfg_.seed, &srf_, &mem_, &dataNet_);
+        injector_->init(fc, cfg_.seed, &srf_, &mem_, &dataNet_,
+                        &tracer_);
     }
     if (fc.watchdogInterval > 0) {
         watchdog_ = std::make_unique<Watchdog>();
@@ -55,7 +59,8 @@ Machine::initFaults()
                 return srf_.seqWordsAccessed() + srf_.idxInLaneWords() +
                     srf_.idxCrossWords() + mem_.dram().wordsTransferred() +
                     breakdown_.loopBody;
-            });
+            },
+            &tracer_, cfg_.name());
         engine_.add(watchdog_.get());
     }
 }
@@ -77,15 +82,12 @@ void
 Machine::initSampler()
 {
     uint64_t interval = cfg_.statSampleInterval;
-    if (const char *env = std::getenv("ISRF_SAMPLE")) {
-        long n = std::atol(env);
-        interval = n > 0 ? static_cast<uint64_t>(n) : 0;
-    }
     if (interval == 0) {
         sampler_.reset();
         return;
     }
     sampler_ = std::make_unique<StatSampler>(interval);
+    sampler_->setTracer(&tracer_);
     sampler_->addGroup(&srf_.stats());
     sampler_->addGroup(&mem_.stats());
     if (injector_)
@@ -167,10 +169,9 @@ Machine::launchKernel(std::shared_ptr<KernelInvocation> inv)
     for (auto &c : clusters_)
         c.bind(active_.get(), engine_.now());
 
-    if (Tracer::on()) {
-        Tracer &t = Tracer::instance();
-        activeKernelName_ = t.intern(active_->graph->name());
-        t.begin(traceCh_, activeKernelName_, engine_.now());
+    if (tracer_.on()) {
+        activeKernelName_ = tracer_.intern(active_->graph->name());
+        tracer_.begin(traceCh_, activeKernelName_, engine_.now());
     }
 
     bwSeq0_ = srf_.seqWordsAccessed();
@@ -210,8 +211,8 @@ Machine::finishKernelIfDone(Cycle now)
     for (auto &c : clusters_)
         c.unbind();
     if (activeKernelName_) {
-        if (Tracer::on())
-            Tracer::instance().end(traceCh_, activeKernelName_, now);
+        if (tracer_.on())
+            tracer_.end(traceCh_, activeKernelName_, now);
         activeKernelName_ = nullptr;
     }
     active_.reset();

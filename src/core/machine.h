@@ -22,6 +22,7 @@
 #include "mem/memory_system.h"
 #include "sim/engine.h"
 #include "sim/stat_sampler.h"
+#include "sim/trace.h"
 #include "util/random.h"
 
 namespace isrf {
@@ -76,6 +77,15 @@ class Machine : public Ticked
     Engine &engine() { return engine_; }
     Cycle now() const { return engine_.now(); }
     uint32_t lanes() const { return cfg_.srf.lanes; }
+
+    /**
+     * This machine's private event tracer. Every component of this
+     * machine records here (never into the global Tracer::instance()),
+     * so concurrent machines in one process stay fully isolated.
+     * Configured from cfg.traceSpec / cfg.traceCapacity at init.
+     */
+    Tracer &tracer() { return tracer_; }
+    const Tracer &tracer() const { return tracer_; }
 
     /**
      * Schedule a kernel with this machine's separation settings
@@ -161,6 +171,7 @@ class Machine : public Ticked
     void initFaults();
 
     MachineConfig cfg_;
+    Tracer tracer_;
     Engine engine_;
     Crossbar dataNet_;
     Srf srf_;

@@ -1,0 +1,115 @@
+#include "driver/sweep_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "util/log.h"
+
+namespace isrf {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned threads)
+{
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw ? hw : 1;
+    }
+    threads_ = threads;
+}
+
+std::vector<SweepJob>
+SweepRunner::matrix(const std::vector<std::string> &workloads,
+                    const std::vector<MachineKind> &kinds,
+                    const WorkloadOptions &opts)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size() * kinds.size());
+    for (const auto &w : workloads) {
+        for (MachineKind k : kinds) {
+            SweepJob j;
+            j.workload = w;
+            j.cfg = MachineConfig::make(k).fromEnv();
+            j.opts = opts;
+            jobs.push_back(std::move(j));
+        }
+    }
+    return jobs;
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob> &jobs, ProgressFn progress)
+{
+    // Force the lazy registries into existence before any worker
+    // starts. Magic statics are thread-safe, but initializing them
+    // here keeps worker wall times honest and the first jobs fast.
+    workloadRegistry();
+    Tracer::instance();
+
+    std::vector<SweepOutcome> out(jobs.size());
+    timing_ = SweepTiming();
+    timing_.threads = std::max(1u,
+        std::min<unsigned>(threads_, jobs.size() ? jobs.size() : 1));
+
+    std::mutex progressMu;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+
+    auto note = [&](size_t idx, bool finished) {
+        if (!progress)
+            return;
+        std::lock_guard<std::mutex> lock(progressMu);
+        progress(jobs[idx], finished,
+                 finished ? done.load() : done.load(), jobs.size());
+    };
+
+    // Index-addressed result slots make submission-order output
+    // trivial: worker i never races worker j on out[k].
+    auto worker = [&]() {
+        for (;;) {
+            size_t idx = next.fetch_add(1);
+            if (idx >= jobs.size())
+                return;
+            const SweepJob &job = jobs[idx];
+            note(idx, false);
+            auto t0 = std::chrono::steady_clock::now();
+            SweepOutcome &o = out[idx];
+            o.workload = job.workload;
+            o.kind = job.cfg.kind;
+            o.result = runWorkload(job.workload, job.cfg, job.opts);
+            o.wallSeconds = secondsSince(t0);
+            done.fetch_add(1);
+            note(idx, true);
+        }
+    };
+
+    auto sweepStart = std::chrono::steady_clock::now();
+    if (timing_.threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(timing_.threads);
+        for (unsigned t = 0; t < timing_.threads; t++)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    timing_.wallSeconds = secondsSince(sweepStart);
+    for (const auto &o : out)
+        timing_.sumJobSeconds += o.wallSeconds;
+    return out;
+}
+
+} // namespace isrf

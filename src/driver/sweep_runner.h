@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel experiment driver.
+ *
+ * The paper's evaluation is a (workload x machine-configuration)
+ * matrix of fully independent simulations — classic embarrassingly
+ * parallel throughput-simulation work. SweepRunner executes such a
+ * matrix on a fixed-size thread pool, one isolated simulation context
+ * per job, and returns results in deterministic submission order
+ * regardless of completion order.
+ *
+ * Soundness rests on the de-globalized simulation core: every Machine
+ * owns its Tracer and StatSampler, and all ISRF_* environment reads
+ * happen once, up front, in MachineConfig::fromEnv() — never from a
+ * worker thread. A job therefore touches no mutable process-global
+ * state except the (mutex-guarded) CLI trace shim and progress
+ * printing.
+ *
+ * Determinism guarantee: each job's WorkloadResult depends only on
+ * (workload, config, options), all captured at submission time, so a
+ * sweep run with N threads is bit-identical to the same sweep run
+ * serially — only wall time changes.
+ */
+#ifndef ISRF_DRIVER_SWEEP_RUNNER_H
+#define ISRF_DRIVER_SWEEP_RUNNER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** One independent simulation to run: a fully resolved context. */
+struct SweepJob
+{
+    std::string workload;  ///< name in workloadRegistry()
+    MachineConfig cfg;     ///< resolved config (env already applied)
+    WorkloadOptions opts;
+};
+
+/** One finished job, in submission order. */
+struct SweepOutcome
+{
+    std::string workload;
+    MachineKind kind = MachineKind::Base;
+    WorkloadResult result;
+    double wallSeconds = 0.0;  ///< this job's wall-clock time
+};
+
+/** Aggregate timing for a whole sweep. */
+struct SweepTiming
+{
+    unsigned threads = 1;
+    double wallSeconds = 0.0;     ///< sweep start to last completion
+    double sumJobSeconds = 0.0;   ///< sum of per-job wall times
+    /** Aggregate parallel speedup: sum of job times / sweep wall. */
+    double speedup() const
+    {
+        return wallSeconds > 0.0 ? sumJobSeconds / wallSeconds : 1.0;
+    }
+};
+
+/** Fixed-size thread pool running SweepJobs (see file comment). */
+class SweepRunner
+{
+  public:
+    /**
+     * Called (under an internal mutex) as each job starts and
+     * finishes; `done` counts finished jobs so far.
+     */
+    using ProgressFn = std::function<void(const SweepJob &job,
+                                          bool finished, size_t done,
+                                          size_t total)>;
+
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run all jobs and return their outcomes in submission order.
+     * With one thread (or one job) everything runs inline on the
+     * calling thread. Results are bit-identical either way.
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs,
+                                  ProgressFn progress = nullptr);
+
+    /** Timing of the most recent run(). */
+    const SweepTiming &timing() const { return timing_; }
+
+    /**
+     * Build the full benchmarks x machine-kinds job matrix in figure
+     * order. Configs are resolved (make + fromEnv) here, on the
+     * calling thread, so workers never consult the environment.
+     */
+    static std::vector<SweepJob>
+    matrix(const std::vector<std::string> &workloads,
+           const std::vector<MachineKind> &kinds,
+           const WorkloadOptions &opts);
+
+  private:
+    unsigned threads_ = 1;
+    SweepTiming timing_;
+};
+
+} // namespace isrf
+
+#endif // ISRF_DRIVER_SWEEP_RUNNER_H

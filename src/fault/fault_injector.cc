@@ -13,8 +13,10 @@ namespace isrf {
 
 void
 FaultInjector::init(const FaultConfig &cfg, uint64_t machineSeed,
-                    Srf *srf, MemorySystem *mem, Crossbar *xbar)
+                    Srf *srf, MemorySystem *mem, Crossbar *xbar,
+                    Tracer *tracer)
 {
+    trc_ = tracer ? tracer : &Tracer::instance();
     cfg_ = cfg;
     srf_ = srf;
     mem_ = mem;
@@ -24,7 +26,7 @@ FaultInjector::init(const FaultConfig &cfg, uint64_t machineSeed,
     for (const FaultScheduleEntry &e : cfg.schedule)
         sched_.push_back({e, e.start, e.count});
     totalInjected_ = 0;
-    traceCh_ = Tracer::instance().channel("fault");
+    traceCh_ = trc_->channel("fault");
 }
 
 bool
@@ -51,8 +53,8 @@ FaultInjector::fire(const FaultScheduleEntry &e, Cycle now)
 {
     totalInjected_++;
     stats_.counter(faultKindName(e.kind)).inc();
-    if (Tracer::on())
-        Tracer::instance().instant(traceCh_, faultKindName(e.kind), now);
+    if (trc_->on())
+        trc_->instant(traceCh_, faultKindName(e.kind), now);
 
     switch (e.kind) {
       case FaultKind::SrfBit: {

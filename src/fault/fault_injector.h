@@ -21,6 +21,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 class Srf;
 class MemorySystem;
 class Crossbar;
@@ -30,7 +32,8 @@ class FaultInjector
 {
   public:
     void init(const FaultConfig &cfg, uint64_t machineSeed, Srf *srf,
-              MemorySystem *mem, Crossbar *xbar);
+              MemorySystem *mem, Crossbar *xbar,
+              Tracer *tracer = nullptr);
 
     /** Fire every schedule entry due at `now`. */
     void inject(Cycle now);
@@ -64,6 +67,7 @@ class FaultInjector
     std::vector<EntryState> sched_;
     uint64_t totalInjected_ = 0;
     StatGroup stats_{"fault"};
+    Tracer *trc_ = nullptr;  ///< owning machine's tracer
     uint16_t traceCh_ = 0;
 };
 

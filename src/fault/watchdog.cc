@@ -9,7 +9,7 @@ namespace isrf {
 
 void
 Watchdog::init(uint64_t intervalCycles, uint32_t stallIntervals,
-               ProgressFn progress)
+               ProgressFn progress, Tracer *tracer, std::string label)
 {
     if (intervalCycles == 0)
         panic("Watchdog::init: zero interval");
@@ -18,6 +18,8 @@ Watchdog::init(uint64_t intervalCycles, uint32_t stallIntervals,
     interval_ = intervalCycles;
     stallIntervals_ = stallIntervals;
     progress_ = std::move(progress);
+    tracer_ = tracer;
+    label_ = std::move(label);
     cyclesSinceCheck_ = 0;
     lastProgress_ = progress_ ? progress_() : 0;
     stalled_ = 0;
@@ -45,7 +47,8 @@ Watchdog::tick(Cycle now)
     triggeredCycle_ = now;
     // Same diagnosis aid as the runUntil deadlock path: the last
     // grants/stalls in the trace buffer say who stopped making progress.
-    Tracer::instance().dumpTail(stderr, Engine::kDeadlockDumpEvents);
+    const Tracer &t = tracer_ ? *tracer_ : Tracer::instance();
+    t.dumpTail(stderr, Engine::kDeadlockDumpEvents, label_.c_str());
     ISRF_WARN("watchdog: no progress for %llu cycles (%u x %llu-cycle "
               "intervals) at cycle %llu; stopping run",
               static_cast<unsigned long long>(

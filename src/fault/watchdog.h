@@ -20,6 +20,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 /** Ticked component monitoring a retired-work metric for progress. */
 class Watchdog : public Ticked
 {
@@ -27,8 +29,14 @@ class Watchdog : public Ticked
     /** Returns the machine's monotonically increasing progress count. */
     using ProgressFn = std::function<uint64_t()>;
 
+    /**
+     * `tracer`/`label` select whose trace tail the trip diagnostic
+     * dumps and how it is tagged (the owning machine's tracer and
+     * config name); defaulted, the dump uses the global tracer.
+     */
     void init(uint64_t intervalCycles, uint32_t stallIntervals,
-              ProgressFn progress);
+              ProgressFn progress, Tracer *tracer = nullptr,
+              std::string label = "");
 
     void tick(Cycle now) override;
     std::string tickedName() const override { return "watchdog"; }
@@ -48,6 +56,8 @@ class Watchdog : public Ticked
     uint64_t interval_ = 0;
     uint32_t stallIntervals_ = 4;
     ProgressFn progress_;
+    Tracer *tracer_ = nullptr;
+    std::string label_;
 
     uint64_t cyclesSinceCheck_ = 0;
     uint64_t lastProgress_ = 0;

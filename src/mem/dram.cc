@@ -13,7 +13,7 @@ Dram::Dram(const DramConfig &cfg)
 }
 
 void
-Dram::init(const DramConfig &cfg)
+Dram::init(const DramConfig &cfg, Tracer *tracer)
 {
     if (cfg.wordsPerCycle <= 0)
         fatal("Dram: non-positive bandwidth");
@@ -25,7 +25,8 @@ Dram::init(const DramConfig &cfg)
     now_ = 0;
     rowHits_ = 0;
     rowMisses_ = 0;
-    traceCh_ = Tracer::instance().channel("dram");
+    trc_ = tracer ? tracer : &Tracer::instance();
+    traceCh_ = trc_->channel("dram");
     resetStats();
 }
 
@@ -164,8 +165,8 @@ Dram::tryAccessWord(uint64_t addr)
     } else {
         rowMisses_++;
         randomWords_++;
-        if (Tracer::on())
-            Tracer::instance().instant(traceCh_, "row_miss", now_, bank);
+        if (trc_->on())
+            trc_->instant(traceCh_, "row_miss", now_, bank);
     }
     return true;
 }

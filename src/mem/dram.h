@@ -22,6 +22,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 /** DRAM timing/capacity parameters. */
 struct DramConfig
 {
@@ -50,7 +52,7 @@ class Dram
   public:
     explicit Dram(const DramConfig &cfg = {});
 
-    void init(const DramConfig &cfg);
+    void init(const DramConfig &cfg, Tracer *tracer = nullptr);
 
     // --- functional storage ---
     Word read(uint64_t wordAddr) const;
@@ -132,6 +134,7 @@ class Dram
     std::vector<int64_t> openRow_;
     double tokens_ = 0;
     Cycle now_ = 0;  ///< cycles ticked (trace timestamps)
+    Tracer *trc_ = nullptr;  ///< owning machine's tracer
     uint16_t traceCh_ = 0;
     uint64_t rowHits_ = 0;
     uint64_t rowMisses_ = 0;

@@ -23,21 +23,23 @@ memOpName(MemOpKind kind)
 
 void
 MemorySystem::init(const MemSystemConfig &cfg, const DramConfig &dramCfg,
-                   const CacheConfig &cacheCfg, Srf *srf)
+                   const CacheConfig &cacheCfg, Srf *srf,
+                   Tracer *tracer)
 {
     cfg_ = cfg;
     srf_ = srf;
-    dram_.init(dramCfg);
+    trc_ = tracer ? tracer : &Tracer::instance();
+    dram_.init(dramCfg, trc_);
     cache_.init(cacheCfg);
     units_.assign(cfg.units, StreamMemUnit());
     unitOpId_.assign(cfg.units, 0);
     for (auto &u : units_) {
         u.init(&dram_, cfg.cacheEnabled ? &cache_ : nullptr, srf,
-               cfg.stagingWords);
+               cfg.stagingWords, trc_);
     }
     queue_.clear();
     nextId_ = 1;
-    traceCh_ = Tracer::instance().channel("mem");
+    traceCh_ = trc_->channel("mem");
     queueDepthHist_ = &stats_.histogram("queue_depth", 0,
         static_cast<double>(cfg.units + 16), cfg.units + 16);
 }
@@ -107,8 +109,8 @@ MemorySystem::tick(Cycle now)
             continue;
         units_[u].start(queue_.front().op, now);
         unitOpId_[u] = queue_.front().id;
-        if (Tracer::on()) {
-            Tracer::instance().instant(traceCh_,
+        if (trc_->on()) {
+            trc_->instant(traceCh_,
                 memOpName(queue_.front().op.kind), now,
                 static_cast<uint64_t>(queue_.front().id));
         }
@@ -123,8 +125,8 @@ MemorySystem::tick(Cycle now)
             stats_.counter("ops_completed").inc();
             if (units_[u].opPoisoned())
                 stats_.counter("ops_poisoned").inc();
-            if (Tracer::on()) {
-                Tracer::instance().instant(traceCh_, "op_done", now,
+            if (trc_->on()) {
+                trc_->instant(traceCh_, "op_done", now,
                     static_cast<uint64_t>(unitOpId_[u]));
             }
         }

@@ -14,6 +14,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 /** Memory-system configuration. */
 struct MemSystemConfig
 {
@@ -32,7 +34,8 @@ class MemorySystem
 {
   public:
     void init(const MemSystemConfig &cfg, const DramConfig &dramCfg,
-              const CacheConfig &cacheCfg, Srf *srf);
+              const CacheConfig &cacheCfg, Srf *srf,
+              Tracer *tracer = nullptr);
 
     /** Submit an op; runs when a unit frees up (FIFO). */
     MemOpId submit(MemOp op);
@@ -90,6 +93,7 @@ class MemorySystem
     std::deque<Pending> queue_;
     MemOpId nextId_ = 1;
     StatGroup stats_{"mem"};
+    Tracer *trc_ = nullptr;  ///< owning machine's tracer
     uint16_t traceCh_ = 0;
     /** Distribution of in-flight ops while the system is busy. */
     Histogram *queueDepthHist_ = nullptr;

@@ -9,15 +9,16 @@ namespace isrf {
 
 void
 StreamMemUnit::init(Dram *dram, Cache *cache, Srf *srf,
-                    uint32_t stagingWords)
+                    uint32_t stagingWords, Tracer *tracer)
 {
+    trc_ = tracer ? tracer : &Tracer::instance();
     dram_ = dram;
     cache_ = cache;
     srf_ = srf;
     stagingCap_ = stagingWords;
     if (cache_)
-        cacheTraceCh_ = Tracer::instance().channel("cache");
-    faultTraceCh_ = Tracer::instance().channel("fault");
+        cacheTraceCh_ = trc_->channel("cache");
+    faultTraceCh_ = trc_->channel("fault");
 }
 
 void
@@ -122,14 +123,14 @@ StreamMemUnit::payWordCost(uint64_t memAddr, bool isWrite, MemBandwidth &bw)
     if (fullLineStore)
         bw.cacheTokens -= 1.0;
     CacheAccessResult r = cache_->access(line, isWrite);
-    if (Tracer::on())
-        Tracer::instance().instant(cacheTraceCh_, "miss", curCycle_, line);
+    if (trc_->on())
+        trc_->instant(cacheTraceCh_, "miss", curCycle_, line);
     if (r.writeback) {
         // Writeback bandwidth: retroactive token consumption; allow the
         // bucket to go negative via a forced grab so timing still pays.
         dram_->requestWords(cache_->config().lineWords, true);
-        if (Tracer::on()) {
-            Tracer::instance().instant(cacheTraceCh_, "writeback",
+        if (trc_->on()) {
+            trc_->instant(cacheTraceCh_, "writeback",
                                        curCycle_, line);
         }
     }
@@ -159,8 +160,8 @@ StreamMemUnit::readWithRetry(uint64_t addr, Word *out)
         retryNotBefore_ = curCycle_ +
             (static_cast<Cycle>(faults_.retryBackoffBase)
              << (retriesThisWord_ - 1));
-        if (Tracer::on())
-            Tracer::instance().instant(faultTraceCh_, "mem_retry",
+        if (trc_->on())
+            trc_->instant(faultTraceCh_, "mem_retry",
                                        curCycle_, addr);
         return false;
     }
@@ -172,8 +173,8 @@ StreamMemUnit::readWithRetry(uint64_t addr, Word *out)
     ISRF_WARN("StreamMemUnit: uncorrectable DRAM word at %llu after %u "
               "retries; poisoning",
               static_cast<unsigned long long>(addr), faults_.retryLimit);
-    if (Tracer::on())
-        Tracer::instance().instant(faultTraceCh_, "mem_poison",
+    if (trc_->on())
+        trc_->instant(faultTraceCh_, "mem_poison",
                                    curCycle_, addr);
     *out = kPoisonWord;
     return true;
@@ -258,8 +259,8 @@ StreamMemUnit::injectDrop()
     staging_.pop_back();
     dramCursor_--;
     droppedWords_++;
-    if (Tracer::on())
-        Tracer::instance().instant(faultTraceCh_, "mem_drop", curCycle_,
+    if (trc_->on())
+        trc_->instant(faultTraceCh_, "mem_drop", curCycle_,
                                    dramCursor_);
     return true;
 }

@@ -22,6 +22,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 /** Kind of stream memory operation. */
 enum class MemOpKind : uint8_t { Load, Store, Gather, Scatter };
 
@@ -58,7 +60,8 @@ struct MemBandwidth
 class StreamMemUnit
 {
   public:
-    void init(Dram *dram, Cache *cache, Srf *srf, uint32_t stagingWords);
+    void init(Dram *dram, Cache *cache, Srf *srf, uint32_t stagingWords,
+              Tracer *tracer = nullptr);
 
     /** Begin executing an op (unit must be idle). */
     void start(const MemOp &op, Cycle now);
@@ -127,6 +130,7 @@ class StreamMemUnit
     double dramCostFactor_ = 1.0;
     Cycle startCycle_ = 0;
     Cycle curCycle_ = 0;  ///< latest tick() cycle (trace timestamps)
+    Tracer *trc_ = nullptr;  ///< owning machine's tracer
     uint16_t cacheTraceCh_ = 0;
     uint64_t dramCursor_ = 0;  ///< stream words done on the DRAM side
     uint64_t srfCursor_ = 0;   ///< stream words done on the SRF side

@@ -37,10 +37,15 @@ Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
     while (!done()) {
         if (executed >= limit) {
             // Dump the tail of the event trace first: a deadlocked
-            // model's last grants/stalls are the diagnosis.
-            Tracer::instance().dumpTail(stderr, kDeadlockDumpEvents);
-            ISRF_WARN("Engine::runUntil: cycle limit %llu exceeded at "
-                      "cycle %llu (model deadlock?)",
+            // model's last grants/stalls are the diagnosis. Use the
+            // owning machine's tracer so a multi-machine process never
+            // prints another run's events.
+            const Tracer &t = tracer_ ? *tracer_ : Tracer::instance();
+            t.dumpTail(stderr, kDeadlockDumpEvents, label_.c_str());
+            ISRF_WARN("Engine::runUntil%s%s%s: cycle limit %llu exceeded "
+                      "at cycle %llu (model deadlock?)",
+                      label_.empty() ? "" : " [",
+                      label_.c_str(), label_.empty() ? "" : "]",
                       static_cast<unsigned long long>(limit),
                       static_cast<unsigned long long>(now_));
             return {RunStatus::Limit, executed};

@@ -6,11 +6,14 @@
 #define ISRF_SIM_ENGINE_H
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/ticked.h"
 
 namespace isrf {
+
+class Tracer;
 
 /** How a runUntil() loop ended. */
 enum class RunStatus : uint8_t {
@@ -48,6 +51,21 @@ class Engine
     /** Register a component. Not owned; must outlive the engine. */
     void add(Ticked *component);
 
+    /**
+     * Tracer to dump diagnostics from (the owning machine's), plus a
+     * label (machine/config name) tagging those dumps. Without one,
+     * runUntil falls back to the process-global Tracer::instance() —
+     * the standalone-engine path.
+     */
+    void
+    setTracer(Tracer *tracer, std::string label)
+    {
+        tracer_ = tracer;
+        label_ = std::move(label);
+    }
+    Tracer *tracer() const { return tracer_; }
+    const std::string &label() const { return label_; }
+
     /** Advance one cycle. */
     void step();
 
@@ -82,6 +100,8 @@ class Engine
   private:
     std::vector<Ticked *> components_;
     Cycle now_ = 0;
+    Tracer *tracer_ = nullptr;
+    std::string label_;
 };
 
 } // namespace isrf

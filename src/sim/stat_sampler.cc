@@ -69,12 +69,12 @@ StatSampler::sampleNow(Cycle now)
     for (const auto &gf : gauges_)
         iv.gauges[gf.first] = gf.second();
 
-    if (Tracer::on()) {
+    Tracer &t = tracer_ ? *tracer_ : Tracer::instance();
+    if (t.on()) {
         if (!traceChInit_) {
-            traceCh_ = Tracer::instance().channel("stats");
+            traceCh_ = t.channel("stats");
             traceChInit_ = true;
         }
-        Tracer &t = Tracer::instance();
         for (const auto &kv : iv.deltas)
             t.counter(traceCh_, t.intern(kv.first), now, kv.second);
         for (const auto &kv : iv.gauges) {

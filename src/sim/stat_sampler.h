@@ -42,11 +42,19 @@ struct StatInterval
     std::map<std::string, double> gauges;
 };
 
+class Tracer;
+
 /** Periodically snapshots registered stats (see file comment). */
 class StatSampler : public Ticked
 {
   public:
     explicit StatSampler(uint64_t intervalCycles = 0);
+
+    /**
+     * Tracer to emit Counter events into (the owning machine's).
+     * Unset, the sampler falls back to the global Tracer::instance().
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
     /** Sampling period in cycles; 0 disables sampling. */
     void setInterval(uint64_t cycles) { interval_ = cycles; }
@@ -99,6 +107,7 @@ class StatSampler : public Ticked
     /** "group.stat"/counter-fn name -> last snapshot value. */
     std::map<std::string, uint64_t> lastSnapshot_;
     std::vector<StatInterval> intervals_;
+    Tracer *tracer_ = nullptr;
     uint16_t traceCh_ = 0;
     bool traceChInit_ = false;
 };

@@ -2,15 +2,26 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 
+#include "util/env.h"
 #include "util/log.h"
 
 namespace isrf {
 
-bool Tracer::enabled_ = false;
+namespace {
+
+/** Serializes concurrent mergeFrom() calls (see Tracer::mergeFrom). */
+std::mutex &
+mergeMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
 
 namespace {
 
@@ -72,20 +83,28 @@ jsonEscape(const char *s)
 Tracer &
 Tracer::instance()
 {
+    // The CLI shim keeps the historical behavior of configuring itself
+    // from the environment on first use; per-machine tracers are
+    // configured explicitly from MachineConfig instead.
     static Tracer t;
+    static bool envApplied = [] {
+        std::vector<std::string> errs;
+        uint64_t cap =
+            envU64("ISRF_TRACE_CAPACITY", kDefaultCapacity, &errs);
+        if (cap == 0) {
+            errs.push_back("ISRF_TRACE_CAPACITY=0 is invalid; using "
+                           "default");
+            cap = kDefaultCapacity;
+        }
+        t.setCapacity(cap);
+        std::string spec = envStr("ISRF_TRACE");
+        if (!spec.empty())
+            t.enableChannels(spec);
+        warnEnvErrors(errs);
+        return true;
+    }();
+    (void)envApplied;
     return t;
-}
-
-Tracer::Tracer()
-{
-    ring_.resize(1 << 16);
-    if (const char *env = std::getenv("ISRF_TRACE"))
-        enableChannels(env);
-    if (const char *cap = std::getenv("ISRF_TRACE_CAPACITY")) {
-        long n = std::atol(cap);
-        if (n > 0)
-            setCapacity(static_cast<size_t>(n));
-    }
 }
 
 uint16_t
@@ -120,6 +139,9 @@ Tracer::enableChannels(const std::string &spec)
         disable();
         return;
     }
+    // Lazily allocate the ring: a never-enabled tracer costs nothing.
+    if (ring_.empty())
+        setCapacity(kDefaultCapacity);
     if (spec == "all" || spec == "1") {
         enableAll_ = true;
         for (auto &ch : channels_)
@@ -156,12 +178,12 @@ Tracer::channelEnabled(uint16_t id) const
 void
 Tracer::refreshEnabledFlag()
 {
-    enabled_ = enableAll_ || !pendingEnables_.empty();
-    if (enabled_)
+    anyEnabled_ = enableAll_ || !pendingEnables_.empty();
+    if (anyEnabled_)
         return;
     for (const auto &ch : channels_) {
         if (ch.enabled) {
-            enabled_ = true;
+            anyEnabled_ = true;
             return;
         }
     }
@@ -196,18 +218,41 @@ void
 Tracer::record(uint16_t ch, TraceEventType type, const char *name,
                Cycle ts, uint64_t arg)
 {
-    if (!channelEnabled(ch))
+    if (!channelEnabled(ch) || ring_.empty())
         return;
-    TraceEvent &e = ring_[head_];
+    TraceEvent e;
     e.ts = ts;
     e.channel = ch;
     e.type = type;
     e.name = name;
     e.arg = arg;
+    append(e);
+}
+
+void
+Tracer::append(const TraceEvent &e)
+{
+    ring_[head_] = e;
     head_ = (head_ + 1) % ring_.size();
     if (count_ < ring_.size())
         count_++;
     totalRecorded_++;
+}
+
+void
+Tracer::mergeFrom(const Tracer &other)
+{
+    std::lock_guard<std::mutex> lock(mergeMutex());
+    if (ring_.empty())
+        setCapacity(kDefaultCapacity);
+    for (const TraceEvent &src : other.events()) {
+        TraceEvent e = src;
+        // The source's channel ids and interned names die with it;
+        // remap into this tracer's tables.
+        e.channel = channel(other.channelName(src.channel));
+        e.name = intern(src.name);
+        append(e);
+    }
 }
 
 std::vector<TraceEvent>
@@ -300,11 +345,12 @@ Tracer::writeCsv(const std::string &path) const
 }
 
 void
-Tracer::dumpTail(std::FILE *out, size_t n) const
+Tracer::dumpTail(std::FILE *out, size_t n, const char *label) const
 {
     auto tail = lastEvents(n);
-    std::fprintf(out, "--- last %zu trace events (of %llu recorded) ---\n",
-                 tail.size(),
+    std::fprintf(out,
+                 "--- [%s] last %zu trace events (of %llu recorded) ---\n",
+                 label && *label ? label : "tracer", tail.size(),
                  static_cast<unsigned long long>(totalRecorded_));
     for (const TraceEvent &e : tail) {
         std::fprintf(out, "  cycle %-10llu %-8s %-2s %-24s arg=%llu\n",

@@ -54,19 +54,36 @@ struct TraceEvent
 };
 
 /**
- * Process-wide event tracer (the simulator is single-threaded).
+ * Event tracer. Each Machine owns one, so two machines in the same
+ * process never observe each other's events; within one machine the
+ * simulation is single-threaded, so recording needs no locking.
  *
- * Channel ids are stable for the process lifetime; clear() drops
+ * A freshly constructed tracer is disabled, reads no environment, and
+ * allocates no ring until a channel is enabled or setCapacity() is
+ * called. The process-global instance() shim survives for the CLI
+ * path: bench binaries enable it, per-machine traces are merged into
+ * it (mergeFrom) at harvest time, and it is what --trace exports.
+ *
+ * Channel ids are stable for the tracer's lifetime; clear() drops
  * buffered events but keeps channel registrations and enablement.
  */
 class Tracer
 {
   public:
-    /** The global tracer. First call parses ISRF_TRACE. */
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * The global tracer (CLI shim). First call parses ISRF_TRACE and
+     * ISRF_TRACE_CAPACITY with validated parsing (bad values warn and
+     * fall back to defaults). Construction is thread-safe; concurrent
+     * mutation is only safe through mergeFrom().
+     */
     static Tracer &instance();
 
-    /** Fast-path check for call sites: any tracing enabled at all? */
-    static bool on() { return enabled_; }
+    /** Fast-path check for call sites: any channel enabled? */
+    bool on() const { return anyEnabled_; }
 
     /** Get-or-create a channel id for a component name. */
     uint16_t channel(const std::string &name);
@@ -88,9 +105,24 @@ class Tracer
 
     bool channelEnabled(uint16_t id) const;
 
-    /** Ring capacity in events (default 1<<16). Clears the buffer. */
+    /** Ring capacity in events. Clears the buffer. */
     void setCapacity(size_t events);
     size_t capacity() const { return ring_.size(); }
+
+    /** Default ring capacity, used when none was configured. */
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    /**
+     * Append another tracer's buffered events to this one, mapping
+     * channels by name (registering them here as needed) and
+     * re-interning event names so they outlive the source. Events are
+     * appended regardless of this tracer's channel enablement — the
+     * source already filtered. Thread-safe against concurrent
+     * mergeFrom() calls on the same destination (the CLI shim receives
+     * merges from parallel sweep workers); not against concurrent
+     * record()/export on it.
+     */
+    void mergeFrom(const Tracer &other);
 
     /** Drop all buffered events (registrations survive). */
     void clear();
@@ -104,7 +136,7 @@ class Tracer
     const char *intern(const std::string &s);
 
     // ------------------------------------------------------------------
-    // Recording (call sites should guard with Tracer::on())
+    // Recording (call sites should guard with tracer.on())
     // ------------------------------------------------------------------
 
     void record(uint16_t ch, TraceEventType type, const char *name,
@@ -162,13 +194,17 @@ class Tracer
     /** Write csv() to a file. @return false on I/O error. */
     bool writeCsv(const std::string &path) const;
 
-    /** Dump the last n events to a stream (deadlock diagnostics). */
-    void dumpTail(std::FILE *out, size_t n) const;
+    /**
+     * Dump the last n events to a stream (deadlock diagnostics).
+     * `label` tags the dump with the owning machine/config name so a
+     * multi-machine process's dumps are attributable.
+     */
+    void dumpTail(std::FILE *out, size_t n,
+                  const char *label = nullptr) const;
 
   private:
-    Tracer();
-
     void refreshEnabledFlag();
+    void append(const TraceEvent &e);
 
     struct Channel
     {
@@ -176,7 +212,7 @@ class Tracer
         bool enabled = false;
     };
 
-    static bool enabled_;  ///< any channel enabled (fast-path flag)
+    bool anyEnabled_ = false;  ///< any channel enabled (fast-path flag)
 
     std::vector<Channel> channels_;
     std::vector<std::string> pendingEnables_;  ///< names enabled early
@@ -191,33 +227,35 @@ class Tracer
 
 /**
  * RAII Begin/End span helper:
- *   { TraceScope s(ch, "kernel", now); ... s.close(later); }
+ *   { TraceScope s(tracer, ch, "kernel", now); ... s.close(later); }
  * If close() is never called the span ends at the construction cycle.
  */
 class TraceScope
 {
   public:
-    TraceScope(uint16_t ch, const char *name, Cycle start, uint64_t arg = 0)
-        : ch_(ch), name_(name), last_(start)
+    TraceScope(Tracer &t, uint16_t ch, const char *name, Cycle start,
+               uint64_t arg = 0)
+        : t_(t), ch_(ch), name_(name), last_(start)
     {
-        if (Tracer::on())
-            Tracer::instance().begin(ch_, name_, start, arg);
+        if (t_.on())
+            t_.begin(ch_, name_, start, arg);
     }
     void
     close(Cycle end)
     {
         last_ = end;
         closed_ = true;
-        if (Tracer::on())
-            Tracer::instance().end(ch_, name_, end);
+        if (t_.on())
+            t_.end(ch_, name_, end);
     }
     ~TraceScope()
     {
-        if (!closed_ && Tracer::on())
-            Tracer::instance().end(ch_, name_, last_);
+        if (!closed_ && t_.on())
+            t_.end(ch_, name_, last_);
     }
 
   private:
+    Tracer &t_;
     uint16_t ch_;
     const char *name_;
     Cycle last_;

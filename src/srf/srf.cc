@@ -8,8 +8,10 @@
 namespace isrf {
 
 void
-Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet)
+Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet,
+          Tracer *tracer)
 {
+    trc_ = tracer ? tracer : &Tracer::instance();
     if (geom.seqWidth > 8)
         fatal("Srf: seqWidth > 8 unsupported");
     geom_ = geom;
@@ -24,7 +26,7 @@ Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet)
     returnQueues_.assign(geom.lanes, {});
     globalArb_.resize(geom.maxStreamSlots + 1);
     laneIdxRr_.assign(geom.lanes, 0);
-    traceCh_ = Tracer::instance().channel("srf");
+    traceCh_ = trc_->channel("srf");
     // Conflict degree caps at the per-cycle indexed access attempts:
     // lanes x sub-arrays is a generous upper bound for the range.
     conflictHist_ = &stats_.histogram("idx_conflict_degree", 0,
@@ -671,8 +673,8 @@ Srf::serviceIndexed(Cycle now)
     // cycle suffered (the Figure 15/17 throughput-loss mechanism).
     uint64_t degree = subArrayConflicts() - conflicts0;
     conflictHist_->sample(static_cast<double>(degree));
-    if (Tracer::on() && degree > 0)
-        Tracer::instance().instant(traceCh_, "idx_conflicts", now, degree);
+    if (trc_->on() && degree > 0)
+        trc_->instant(traceCh_, "idx_conflicts", now, degree);
 }
 
 void
@@ -766,9 +768,9 @@ Srf::endCycle(Cycle now)
     int granted = idxUrgent ? static_cast<int>(nSlots)
                             : globalArb_.arbitrate(claims);
     if (granted == static_cast<int>(nSlots)) {
-        if (Tracer::on())
-            Tracer::instance().instant(traceCh_, "idx_grant", now,
-                                       idxUrgent ? 1 : 0);
+        if (trc_->on())
+            trc_->instant(traceCh_, "idx_grant", now,
+                          idxUrgent ? 1 : 0);
         serviceIndexed(now);
     } else if (granted >= 0) {
         bool dmaServed = false;
@@ -780,8 +782,8 @@ Srf::endCycle(Cycle now)
                 break;
             }
         }
-        if (Tracer::on())
-            Tracer::instance().instant(traceCh_,
+        if (trc_->on())
+            trc_->instant(traceCh_,
                 dmaServed ? "dma_grant" : "seq_grant", now,
                 static_cast<uint64_t>(granted));
         if (!dmaServed)

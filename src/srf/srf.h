@@ -38,6 +38,8 @@
 
 namespace isrf {
 
+class Tracer;
+
 /** Parameters of one stream slot opened in the SRF. */
 struct SlotConfig
 {
@@ -79,7 +81,8 @@ class Srf
      * inter-cluster network used for cross-lane data returns (owned by
      * the machine; may be null when cross-lane indexing is unused).
      */
-    void init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet);
+    void init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet,
+              Tracer *tracer = nullptr);
 
     const SrfGeometry &geometry() const { return geom_; }
     SrfMode mode() const { return mode_; }
@@ -333,6 +336,7 @@ class Srf
     uint64_t seqWords_ = 0;
     uint64_t idxInLaneWords_ = 0;
     uint64_t idxCrossWords_ = 0;
+    Tracer *trc_ = nullptr;  ///< owning machine's tracer
     uint16_t traceCh_ = 0;
     /** Per-idx-cycle sub-array conflict-degree distribution. */
     Histogram *conflictHist_ = nullptr;

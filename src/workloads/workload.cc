@@ -35,16 +35,28 @@ WorkloadResult
 runWorkload(const std::string &name, MachineKind kind,
             const WorkloadOptions &opts)
 {
+    return runWorkload(name, MachineConfig::make(kind).fromEnv(), opts);
+}
+
+WorkloadResult
+runWorkload(const std::string &name, const MachineConfig &cfg,
+            const WorkloadOptions &opts)
+{
     const auto &reg = workloadRegistry();
     auto it = reg.find(name);
     if (it == reg.end())
         fatal("runWorkload: unknown workload '%s'", name.c_str());
-    return it->second(MachineConfig::make(kind), opts);
+    return it->second(cfg, opts);
 }
 
 void
 harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles)
 {
+    // The machine's private trace dies with it; fold it into the CLI
+    // shim tracer (what --trace exports) while the machine is alive.
+    // mergeFrom serializes concurrent harvests from sweep workers.
+    if (Tracer::instance().on() && m.tracer().size() > 0)
+        Tracer::instance().mergeFrom(m.tracer());
     res.kind = m.config().kind;
     res.cycles = cycles;
     res.breakdown = m.breakdown();

@@ -65,9 +65,23 @@ using WorkloadRunner =
 /** Name -> runner registry used by the benchmark harnesses. */
 const std::map<std::string, WorkloadRunner> &workloadRegistry();
 
-/** Convenience: run a registered workload on a machine kind. */
+/**
+ * Convenience: run a registered workload on a machine kind. The
+ * machine config is MachineConfig::make(kind).fromEnv() — the one
+ * explicit point where ISRF_* environment overrides apply.
+ */
 WorkloadResult runWorkload(const std::string &name, MachineKind kind,
                            const WorkloadOptions &opts = {});
+
+/**
+ * Run a registered workload on an explicit, fully resolved machine
+ * config. Reads no environment — this is the entry point the parallel
+ * SweepRunner uses so concurrently running jobs share no mutable
+ * process state.
+ */
+WorkloadResult runWorkload(const std::string &name,
+                           const MachineConfig &cfg,
+                           const WorkloadOptions &opts);
 
 /** Fill a WorkloadResult's common fields from a finished machine. */
 void harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles);

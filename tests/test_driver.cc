@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver and the global-state hazards it
+ * depends on being fixed:
+ *
+ *  - thread-count invariance: a sweep's results serialize
+ *    bit-identically whether run on 1 thread or N
+ *  - per-machine isolation: two Machines in one process with different
+ *    fault/trace configurations don't leak state into each other
+ *  - explicit env snapshotting: MachineConfig::make() never reads the
+ *    environment; only fromEnv() does, and invalid values are
+ *    diagnosed and defaulted instead of silently misparsed
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "driver/sweep_runner.h"
+#include "util/env.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+namespace {
+
+/** setenv/unsetenv with automatic restore. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool hadOld_ = false;
+};
+
+std::string
+sweepJson(const std::vector<SweepOutcome> &outcomes)
+{
+    std::string all;
+    for (const auto &o : outcomes) {
+        all += o.workload;
+        all += '/';
+        all += machineKindName(o.kind);
+        all += '=';
+        all += resultJson(o.result);
+        all += '\n';
+    }
+    return all;
+}
+
+TEST(SweepRunner, ResultsInvariantUnderThreadCount)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix(
+        {"Sort", "Filter"}, {MachineKind::Base, MachineKind::ISRF4},
+        opts);
+    ASSERT_EQ(jobs.size(), 4u);
+
+    SweepRunner serial(1);
+    auto a = serial.run(jobs);
+    SweepRunner pool(4);
+    auto b = pool.run(jobs);
+
+    ASSERT_EQ(a.size(), b.size());
+    // Submission order is preserved regardless of completion order.
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].workload, jobs[i].workload);
+        EXPECT_EQ(b[i].workload, jobs[i].workload);
+        EXPECT_EQ(a[i].kind, jobs[i].cfg.kind);
+    }
+    // The serialized results are byte-identical: simulation outcomes
+    // depend only on (workload, config, options), never on threading.
+    EXPECT_EQ(sweepJson(a), sweepJson(b));
+    for (const auto &o : a)
+        EXPECT_TRUE(o.result.correct) << o.workload;
+}
+
+TEST(SweepRunner, TimingAccountsForEveryJob)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix({"Sort"}, {MachineKind::Base},
+                                    opts);
+    SweepRunner runner(2);
+    size_t started = 0, finished = 0;
+    auto out = runner.run(jobs,
+        [&](const SweepJob &, bool fin, size_t, size_t total) {
+            EXPECT_EQ(total, 1u);
+            (fin ? finished : started)++;
+        });
+    EXPECT_EQ(started, 1u);
+    EXPECT_EQ(finished, 1u);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GT(out[0].wallSeconds, 0.0);
+    // One job: pool clamps to one worker; wall >= the job itself.
+    EXPECT_EQ(runner.timing().threads, 1u);
+    EXPECT_GE(runner.timing().wallSeconds,
+              runner.timing().sumJobSeconds * 0.5);
+}
+
+TEST(MachineIsolation, FaultAndTraceConfigsDoNotLeak)
+{
+    // Machine A: faults + tracing. Machine B: neither. Both live in
+    // the same process at the same time — the bug class this PR fixes
+    // is A's env-derived state bleeding into B.
+    MachineConfig cfgA = MachineConfig::make(MachineKind::ISRF4);
+    cfgA.faults =
+        FaultConfig::parse("seed=7;srf_bit:start=50,period=31,count=4");
+    cfgA.traceSpec = "all";
+    MachineConfig cfgB = MachineConfig::make(MachineKind::ISRF4);
+
+    Machine a, b;
+    a.init(cfgA);
+    b.init(cfgB);
+
+    EXPECT_NE(a.faultInjector(), nullptr);
+    EXPECT_EQ(b.faultInjector(), nullptr)
+        << "B must not inherit A's fault config";
+    EXPECT_TRUE(a.tracer().on());
+    EXPECT_FALSE(b.tracer().on())
+        << "B must not inherit A's trace config";
+
+    // Drive both; only A's private tracer accumulates events.
+    runWorkload("Sort", cfgA, WorkloadOptions{.repeats = 1});
+    Machine m1, m2;
+    m1.init(cfgA);
+    m2.init(cfgB);
+    EXPECT_TRUE(m1.tracer().on());
+    EXPECT_EQ(m2.tracer().size(), 0u);
+}
+
+TEST(MachineIsolation, ConcurrentTracedMachinesStayPrivate)
+{
+    // Two fully traced runs in parallel: each machine records into its
+    // own ring, so event counts are reproducible, not interleaved.
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    MachineConfig cfg = MachineConfig::make(MachineKind::ISRF1);
+    cfg.traceSpec = "all";
+    cfg.traceCapacity = 1 << 12;
+
+    std::vector<SweepJob> jobs(2);
+    jobs[0] = {"Sort", cfg, opts};
+    jobs[1] = {"Sort", cfg, opts};
+    SweepRunner runner(2);
+    auto out = runner.run(jobs);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(resultJson(out[0].result), resultJson(out[1].result))
+        << "identical traced jobs must produce identical results";
+}
+
+TEST(EnvSnapshot, MakeNeverReadsEnvironment)
+{
+    ScopedEnv faults("ISRF_FAULTS", "seed=1;srf_bit");
+    ScopedEnv sample("ISRF_SAMPLE", "128");
+    ScopedEnv trace("ISRF_TRACE", "srf,dram");
+
+    MachineConfig cfg = MachineConfig::make(MachineKind::ISRF4);
+    EXPECT_FALSE(cfg.faults.enabled);
+    EXPECT_EQ(cfg.statSampleInterval, 0u);
+    EXPECT_TRUE(cfg.traceSpec.empty());
+
+    // A Machine built from an env-free config ignores the environment.
+    Machine m;
+    m.init(cfg);
+    EXPECT_EQ(m.faultInjector(), nullptr);
+    EXPECT_EQ(m.sampler(), nullptr);
+    EXPECT_FALSE(m.tracer().on());
+
+    // fromEnv() is the one explicit snapshot point.
+    cfg.fromEnv();
+    EXPECT_TRUE(cfg.faults.enabled);
+    EXPECT_EQ(cfg.statSampleInterval, 128u);
+    EXPECT_EQ(cfg.traceSpec, "srf,dram");
+}
+
+TEST(EnvSnapshot, InvalidValuesWarnAndDefault)
+{
+    ScopedEnv sample("ISRF_SAMPLE", "10 cycles");
+    ScopedEnv cap("ISRF_TRACE_CAPACITY", "99999999999999999999999");
+    ScopedEnv faults("ISRF_FAULTS", nullptr);
+    ScopedEnv trace("ISRF_TRACE", nullptr);
+
+    MachineConfig cfg = MachineConfig::make(MachineKind::Base).fromEnv();
+    EXPECT_EQ(cfg.statSampleInterval, 0u)
+        << "unparseable ISRF_SAMPLE must fall back to the default";
+    EXPECT_EQ(cfg.traceCapacity, uint64_t{1} << 16)
+        << "overflowing ISRF_TRACE_CAPACITY must fall back";
+}
+
+TEST(EnvSnapshot, ParseU64RejectsGarbage)
+{
+    uint64_t v = 0;
+    EXPECT_TRUE(parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("  12", v));
+    EXPECT_FALSE(parseU64("12x", v));
+    EXPECT_FALSE(parseU64("-3", v));
+    EXPECT_FALSE(parseU64("0x10", v));
+    EXPECT_FALSE(parseU64("18446744073709551616", v));
+}
+
+} // namespace
+} // namespace isrf

@@ -347,9 +347,9 @@ TEST(Watchdog, TriggersAfterStalledIntervals)
 
 TEST(Watchdog, MachineRunUntilReportsStalled)
 {
-    ScopedFaultsEnv env("watchdog=50;stall_intervals=2");
     Machine m;
     MachineConfig cfg = MachineConfig::base();
+    cfg.faults = FaultConfig::parse("watchdog=50;stall_intervals=2");
     cfg.dram.capacityWords = 1 << 16;
     m.init(cfg);
     ASSERT_NE(m.watchdog(), nullptr);
@@ -424,9 +424,10 @@ TEST(FaultSoak, AllFaultKindsRunToCompletion)
 
 TEST(FaultSoak, ReportsCarryFaultSection)
 {
-    ScopedFaultsEnv env("seed=2;dram_bit:start=10,period=5,count=30");
     Machine m;
     MachineConfig cfg = MachineConfig::base();
+    cfg.faults =
+        FaultConfig::parse("seed=2;dram_bit:start=10,period=5,count=30");
     cfg.dram.capacityWords = 1 << 16;
     m.init(cfg);
     std::vector<Word> data(512, 9);

@@ -35,7 +35,7 @@ class TraceTest : public ::testing::Test
 TEST_F(TraceTest, DisabledRecordsNothing)
 {
     Tracer &t = Tracer::instance();
-    EXPECT_FALSE(Tracer::on());
+    EXPECT_FALSE(t.on());
     uint16_t ch = t.channel("trace_test_off");
     t.instant(ch, "ev", 1);
     EXPECT_EQ(t.size(), 0u);
@@ -46,7 +46,7 @@ TEST_F(TraceTest, ChannelFiltering)
 {
     Tracer &t = Tracer::instance();
     t.enableChannels("trace_test_a");
-    EXPECT_TRUE(Tracer::on());
+    EXPECT_TRUE(t.on());
     uint16_t a = t.channel("trace_test_a");
     uint16_t b = t.channel("trace_test_b");
     EXPECT_TRUE(t.channelEnabled(a));
@@ -67,7 +67,7 @@ TEST_F(TraceTest, EnableSpecParsing)
     t.enableChannels("all");
     EXPECT_TRUE(t.channelEnabled(ch));
     t.enableChannels("0");
-    EXPECT_FALSE(Tracer::on());
+    EXPECT_FALSE(t.on());
     EXPECT_FALSE(t.channelEnabled(ch));
     // Spec names registered *before* the channel exists apply at
     // registration time.
@@ -158,7 +158,7 @@ TEST_F(TraceTest, TraceScopeEmitsBeginEnd)
     t.enableChannels("all");
     uint16_t ch = t.channel("trace_test_scope");
     {
-        TraceScope s(ch, "work", 100);
+        TraceScope s(t, ch, "work", 100);
         s.close(110);
     }
     auto evs = t.events();
@@ -167,6 +167,73 @@ TEST_F(TraceTest, TraceScopeEmitsBeginEnd)
     EXPECT_EQ(evs[0].ts, 100u);
     EXPECT_EQ(evs[1].type, TraceEventType::End);
     EXPECT_EQ(evs[1].ts, 110u);
+}
+
+TEST_F(TraceTest, InstancesAreIndependent)
+{
+    // Per-machine tracers must not share channels, filters, or rings
+    // with each other or with the global CLI shim.
+    Tracer a, b;
+    a.enableChannels("all");
+    uint16_t chA = a.channel("iso_a");
+    a.instant(chA, "ev", 1);
+    EXPECT_TRUE(a.on());
+    EXPECT_FALSE(b.on());
+    EXPECT_FALSE(Tracer::instance().on());
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(b.size(), 0u);
+    b.enableChannels("iso_b_only");
+    uint16_t chB = b.channel("iso_a");  // same name, different tracer
+    b.instant(chB, "ev", 2);
+    EXPECT_EQ(b.size(), 0u) << "b's filter must not inherit a's";
+}
+
+TEST_F(TraceTest, MergeFromRemapsChannelsAndNames)
+{
+    Tracer &g = Tracer::instance();
+    g.enableChannels("all");
+    uint16_t gch = g.channel("trace_test_merge_pre");
+    g.instant(gch, "pre", 1);
+
+    Tracer m;
+    m.enableChannels("all");
+    uint16_t mch = m.channel("trace_test_merge_src");
+    {
+        std::string dynamicName = "dyn_ev";
+        m.instant(mch, dynamicName.c_str(), 5, 42);
+    }
+    g.mergeFrom(m);
+
+    auto evs = g.events();
+    ASSERT_EQ(evs.size(), 2u);
+    // Merged event lands on the *global* channel of the same name,
+    // with its name re-interned into the global tracer.
+    uint16_t expect = g.channel("trace_test_merge_src");
+    EXPECT_EQ(evs[1].channel, expect);
+    EXPECT_STREQ(evs[1].name, "dyn_ev");
+    EXPECT_EQ(evs[1].ts, 5u);
+    EXPECT_EQ(evs[1].arg, 42u);
+    EXPECT_EQ(evs[1].name, g.intern("dyn_ev"))
+        << "merged names must point into the destination intern pool";
+}
+
+TEST_F(TraceTest, DumpTailIsLabelled)
+{
+    Tracer t;
+    t.enableChannels("all");
+    uint16_t ch = t.channel("trace_test_tail");
+    for (uint64_t i = 0; i < 5; i++)
+        t.instant(ch, "tick", i);
+    char *buf = nullptr;
+    size_t len = 0;
+    FILE *f = open_memstream(&buf, &len);
+    ASSERT_NE(f, nullptr);
+    t.dumpTail(f, 3, "FFT 2D/isrf4");
+    fclose(f);
+    std::string out(buf, len);
+    free(buf);
+    EXPECT_NE(out.find("[FFT 2D/isrf4]"), std::string::npos) << out;
+    EXPECT_NE(out.find("last 3 trace events"), std::string::npos);
 }
 
 TEST_F(TraceTest, ClearKeepsRegistrations)
