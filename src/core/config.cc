@@ -64,6 +64,17 @@ MachineConfig::fromEnv()
     std::string traceEnv = envStr("ISRF_TRACE");
     if (!traceEnv.empty())
         traceSpec = traceEnv == "0" ? "" : traceEnv;
+    std::string engineEnv = envStr("ISRF_ENGINE");
+    if (engineEnv == "dense") {
+        engineMode = EngineMode::Dense;
+    } else if (engineEnv == "skip") {
+        engineMode = EngineMode::Skip;
+    } else if (!engineEnv.empty()) {
+        errs.push_back(strprintf("ISRF_ENGINE='%s' is invalid (expected "
+                                 "dense|skip); using %s",
+                                 engineEnv.c_str(),
+                                 engineModeName(engineMode)));
+    }
     traceCapacity = envU64("ISRF_TRACE_CAPACITY", traceCapacity, &errs);
     if (traceCapacity == 0) {
         errs.push_back(strprintf("ISRF_TRACE_CAPACITY=0 is invalid; "

@@ -12,6 +12,7 @@
 #include "mem/cache.h"
 #include "mem/dram.h"
 #include "mem/memory_system.h"
+#include "sim/ticked.h"
 #include "srf/srf_types.h"
 
 namespace isrf {
@@ -60,6 +61,14 @@ struct MachineConfig
      */
     uint64_t statSampleInterval = 0;
 
+    /**
+     * Tick-engine mode: Dense ticks every component every cycle (the
+     * oracle); Skip fast-forwards over provably quiescent cycles while
+     * keeping all statistics cycle-for-cycle identical (DESIGN.md
+     * §sim). fromEnv() overlays ISRF_ENGINE (dense|skip) here.
+     */
+    EngineMode engineMode = EngineMode::Dense;
+
     uint64_t seed = 1;
 
     /**
@@ -90,7 +99,8 @@ struct MachineConfig
 
     /**
      * Overlay the ISRF_* environment overrides (ISRF_FAULTS,
-     * ISRF_SAMPLE, ISRF_TRACE, ISRF_TRACE_CAPACITY) onto this config
+     * ISRF_SAMPLE, ISRF_TRACE, ISRF_TRACE_CAPACITY, ISRF_ENGINE)
+     * onto this config
      * and return it. This is the ONE place the environment is
      * consulted: Machine::init reads only the config it is handed, so
      * machines built in the same process can never observe each

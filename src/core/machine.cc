@@ -1,5 +1,7 @@
 #include "core/machine.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace isrf {
@@ -9,6 +11,20 @@ Machine::init(const MachineConfig &cfg)
 {
     cfg.validate();
     cfg_ = cfg;
+    // Re-initialization safety: drop every engine registration first.
+    // A second init() used to leave the engine holding dangling
+    // pointers to the watchdog/sampler destroyed below (and a stale
+    // clock); clear() is the one sanctioned way to rebuild.
+    engine_.clear();
+    engine_.setMode(cfg_.engineMode);
+    active_.reset();
+    activeOutputs_.clear();
+    activeIdxWriteSlots_.clear();
+    flushing_ = false;
+    kernelStart_ = 0;
+    kernelEventCycle_ = kNoEvent;
+    activeKernelName_ = nullptr;
+    bwSeq0_ = bwIn0_ = bwCross0_ = 0;
     // The machine's private tracer: nothing here reads the
     // environment — env overrides belong in MachineConfig::fromEnv().
     if (!cfg_.traceSpec.empty()) {
@@ -217,6 +233,60 @@ Machine::finishKernelIfDone(Cycle now)
     }
     active_.reset();
     flushing_ = false;
+    // The stream-program driver observes this completion between ticks
+    // and may immediately issue dependent work: keep the next cycle
+    // dense so both engine modes see that work start at the same cycle.
+    kernelEventCycle_ = now;
+}
+
+Cycle
+Machine::nextEvent(Cycle now)
+{
+    // Comm-occupancy draws the RNG per lane per cycle; skipping cycles
+    // would desync the stream from dense mode.
+    if (cfg_.commOccupancy > 0)
+        return now + 1;
+    if (kernelEventCycle_ == now)
+        return now + 1;
+    Cycle wake = kNoEvent;
+    if (injector_)
+        wake = std::min(wake, injector_->nextEvent(now));
+    for (auto &c : clusters_) {
+        wake = std::min(wake, c.nextEvent(now));
+        if (wake == now + 1)
+            return wake;
+    }
+    wake = std::min(wake, srf_.nextEvent(now));
+    wake = std::min(wake, mem_.nextEvent(now));
+    return wake;
+}
+
+void
+Machine::skipTo(Cycle from, Cycle to)
+{
+    uint64_t n = to - from;
+    if (active_) {
+        // Mirror the dense per-cluster classification into the
+        // Figure 12 buckets, n cycles at a time.
+        for (auto &c : clusters_) {
+            switch (c.skipCycles(from, to)) {
+              case CycleCat::Loop: breakdown_.loopBody += n; break;
+              case CycleCat::SrfStall: breakdown_.srfStall += n; break;
+              case CycleCat::Overhead:
+              case CycleCat::Idle: breakdown_.overhead += n; break;
+            }
+        }
+    } else {
+        // Unbound lanes still burn (and account) idle cycles densely.
+        for (auto &c : clusters_)
+            c.skipCycles(from, to);
+        if (mem_.inFlight() > 0)
+            breakdown_.memStall += static_cast<uint64_t>(lanes()) * n;
+        else
+            breakdown_.overhead += static_cast<uint64_t>(lanes()) * n;
+    }
+    srf_.skipCycles(from, to);
+    mem_.skipCycles(from, to);
 }
 
 void

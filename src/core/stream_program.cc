@@ -260,6 +260,13 @@ StreamProgram::allDone() const
 uint64_t
 StreamProgram::run(uint64_t maxCycles)
 {
+    // Engine::step() advances one cycle in dense mode but may advance
+    // through a whole quiescent region in skip mode, so progress is
+    // measured on the machine clock, not loop iterations. Every cycle
+    // this driver could react to (op/kernel completion) is pinned
+    // dense by the components' nextEvent() contracts, so the sequence
+    // of issue decisions is identical in both modes.
+    const Cycle start = machine_.now();
     uint64_t cycles = 0;
     while (true) {
         updateCompletion();
@@ -275,8 +282,8 @@ StreamProgram::run(uint64_t maxCycles)
             break;
         }
         tryIssue();
-        machine_.step();
-        cycles++;
+        machine_.engine().step();
+        cycles = machine_.now() - start;
         if (cycles > maxCycles)
             panic("StreamProgram::run: exceeded %llu cycles (deadlock?)",
                   static_cast<unsigned long long>(maxCycles));

@@ -20,7 +20,7 @@ Watchdog::init(uint64_t intervalCycles, uint32_t stallIntervals,
     progress_ = std::move(progress);
     tracer_ = tracer;
     label_ = std::move(label);
-    cyclesSinceCheck_ = 0;
+    nextCheck_ = kNoEvent;
     lastProgress_ = progress_ ? progress_() : 0;
     stalled_ = 0;
     triggered_ = false;
@@ -32,9 +32,14 @@ Watchdog::tick(Cycle now)
 {
     if (triggered_ || interval_ == 0)
         return;
-    if (++cyclesSinceCheck_ < interval_)
+    // Lazy arming: the first ticked cycle counts as one elapsed cycle,
+    // so the check lands interval_ ticks after registration (identical
+    // to the old per-tick counter under dense ticking).
+    if (nextCheck_ == kNoEvent)
+        nextCheck_ = now + interval_ - 1;
+    if (now < nextCheck_)
         return;
-    cyclesSinceCheck_ = 0;
+    nextCheck_ = now + interval_;
     uint64_t cur = progress_ ? progress_() : 0;
     if (cur != lastProgress_) {
         lastProgress_ = cur;
@@ -71,12 +76,24 @@ Watchdog::reportJson() const
     return w.str();
 }
 
+Cycle
+Watchdog::nextEvent(Cycle now)
+{
+    if (interval_ == 0)
+        return kNoEvent;
+    if (triggered_)
+        return triggeredCycle_ == now ? now + 1 : kNoEvent;
+    if (nextCheck_ == kNoEvent)
+        return now + 1;  // not yet armed; arm on the next dense tick
+    return nextCheck_ > now ? nextCheck_ : now + 1;
+}
+
 void
 Watchdog::rearm()
 {
     triggered_ = false;
     stalled_ = 0;
-    cyclesSinceCheck_ = 0;
+    nextCheck_ = kNoEvent;
     if (progress_)
         lastProgress_ = progress_();
 }

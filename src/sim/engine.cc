@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+
 #include "sim/trace.h"
 #include "util/log.h"
 
@@ -14,7 +16,14 @@ Engine::add(Ticked *component)
 }
 
 void
-Engine::step()
+Engine::clear()
+{
+    components_.clear();
+    now_ = 0;
+}
+
+void
+Engine::tickOnce()
 {
     for (Ticked *c : components_)
         c->tick(now_);
@@ -24,17 +33,63 @@ Engine::step()
 }
 
 void
+Engine::fastForward(Cycle bound)
+{
+    // now_ - 1 is the cycle every component just ticked at; each
+    // reports the earliest future cycle it can act. The minimum is the
+    // next cycle worth simulating densely.
+    const Cycle last = now_ - 1;
+    Cycle wake = kNoEvent;
+    for (Ticked *c : components_) {
+        Cycle ne = c->nextEvent(last);
+        if (ne <= last)
+            panic("Engine: component '%s' returned stale nextEvent "
+                  "%llu at cycle %llu (time travel)",
+                  c->tickedName().c_str(),
+                  static_cast<unsigned long long>(ne),
+                  static_cast<unsigned long long>(last));
+        wake = std::min(wake, ne);
+        // now_ is the minimum any component may legally report; once
+        // reached, the remaining queries cannot lower it.
+        if (wake == now_)
+            return;
+    }
+    if (wake == kNoEvent)
+        return;  // nothing self-driven pending: stay dense, don't spin
+    if (bound != kNoEvent)
+        wake = std::min(wake, bound);
+    if (wake <= now_)
+        return;
+    for (Ticked *c : components_)
+        c->skipTo(now_, wake);
+    now_ = wake;
+}
+
+void
+Engine::step()
+{
+    tickOnce();
+    if (mode_ == EngineMode::Skip && !components_.empty())
+        fastForward(kNoEvent);
+}
+
+void
 Engine::steps(uint64_t n)
 {
-    for (uint64_t i = 0; i < n; i++)
-        step();
+    const Cycle target = now_ + n;
+    while (now_ < target) {
+        tickOnce();
+        if (mode_ == EngineMode::Skip && !components_.empty())
+            fastForward(target);
+    }
 }
 
 RunResult
 Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
 {
-    uint64_t executed = 0;
+    const Cycle start = now_;
     while (!done()) {
+        uint64_t executed = now_ - start;
         if (executed >= limit) {
             // Dump the tail of the event trace first: a deadlocked
             // model's last grants/stalls are the diagnosis. Use the
@@ -43,17 +98,22 @@ Engine::runUntil(const std::function<bool()> &done, uint64_t limit)
             const Tracer &t = tracer_ ? *tracer_ : Tracer::instance();
             t.dumpTail(stderr, kDeadlockDumpEvents, label_.c_str());
             ISRF_WARN("Engine::runUntil%s%s%s: cycle limit %llu exceeded "
-                      "at cycle %llu (model deadlock?)",
+                      "after %llu cycles, at cycle %llu (model "
+                      "deadlock?)",
                       label_.empty() ? "" : " [",
                       label_.c_str(), label_.empty() ? "" : "]",
                       static_cast<unsigned long long>(limit),
+                      static_cast<unsigned long long>(executed),
                       static_cast<unsigned long long>(now_));
             return {RunStatus::Limit, executed};
         }
-        step();
-        executed++;
+        tickOnce();
+        // Clamp jumps to the limit boundary so `executed` and the
+        // deadlock diagnostics stay exact in skip mode.
+        if (mode_ == EngineMode::Skip && !components_.empty())
+            fastForward(start + limit);
     }
-    return {RunStatus::Done, executed};
+    return {RunStatus::Done, now_ - start};
 }
 
 const char *
@@ -63,6 +123,16 @@ runStatusName(RunStatus status)
       case RunStatus::Done: return "done";
       case RunStatus::Limit: return "limit";
       case RunStatus::Stalled: return "stalled";
+    }
+    return "?";
+}
+
+const char *
+engineModeName(EngineMode mode)
+{
+    switch (mode) {
+      case EngineMode::Dense: return "dense";
+      case EngineMode::Skip: return "skip";
     }
     return "?";
 }

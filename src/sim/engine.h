@@ -42,6 +42,12 @@ struct RunResult
  * component in order, then postTick() on every component in order.
  * runUntil() steps until a predicate is satisfied or a cycle limit is
  * hit (the limit guards against deadlocked models).
+ *
+ * In EngineMode::Skip the engine additionally queries every component's
+ * nextEvent() after each dense cycle and, when the minimum lies beyond
+ * the next cycle, credits the quiescent gap via skipTo() and jumps the
+ * clock there in one step (see DESIGN.md §sim). Dense mode never calls
+ * nextEvent()/skipTo() and remains the oracle.
  */
 class Engine
 {
@@ -50,6 +56,17 @@ class Engine
 
     /** Register a component. Not owned; must outlive the engine. */
     void add(Ticked *component);
+
+    /**
+     * Unregister every component and reset the clock to zero. The one
+     * sanctioned way to rebuild a machine on the same engine: clearing
+     * both together keeps interval components (watchdog, StatSampler)
+     * that latch absolute cycle numbers in sync with the clock.
+     */
+    void clear();
+
+    void setMode(EngineMode mode) { mode_ = mode; }
+    EngineMode mode() const { return mode_; }
 
     /**
      * Tracer to dump diagnostics from (the owning machine's), plus a
@@ -66,10 +83,16 @@ class Engine
     Tracer *tracer() const { return tracer_; }
     const std::string &label() const { return label_; }
 
-    /** Advance one cycle. */
+    /**
+     * Advance one dense cycle; in skip mode, then fast-forward over any
+     * provably quiescent gap (so one step() may advance many cycles).
+     */
     void step();
 
-    /** Advance n cycles. */
+    /**
+     * Advance exactly n cycles in both modes (skip-mode jumps are
+     * clamped to the target, so tests can still single-step).
+     */
     void steps(uint64_t n);
 
     /**
@@ -92,14 +115,27 @@ class Engine
     /** Current simulation time in cycles. */
     Cycle now() const { return now_; }
 
-    /** Reset the clock to zero (components are not reset). */
-    void resetClock() { now_ = 0; }
+    // resetClock() was removed: it reset now_ without resetting the
+    // components, silently desynchronizing anything that latches
+    // absolute cycle numbers (watchdog checks, sampler boundaries,
+    // fault schedules). Use clear() and re-register instead.
 
     size_t componentCount() const { return components_.size(); }
 
   private:
+    /** One dense cycle: tick all, postTick all, now_++. */
+    void tickOnce();
+
+    /**
+     * Skip mode: query min(nextEvent) and jump the clock over the
+     * quiescent gap, crediting it via skipTo(). `bound` (kNoEvent =
+     * none) is the first cycle the jump must not pass.
+     */
+    void fastForward(Cycle bound);
+
     std::vector<Ticked *> components_;
     Cycle now_ = 0;
+    EngineMode mode_ = EngineMode::Dense;
     Tracer *tracer_ = nullptr;
     std::string label_;
 };

@@ -51,6 +51,13 @@ class RoundRobinArbiter
     uint64_t grants() const { return grants_; }
     uint64_t idleCycles() const { return idleCycles_; }
 
+    /**
+     * Bulk-credit n claimless arbitration cycles (skip mode). Matches n
+     * arbitrate() calls with all-zero claims: idleCycles_ grows, the
+     * priority pointer does not move.
+     */
+    void skipIdle(uint64_t n) { idleCycles_ += n; }
+
   private:
     uint32_t n_;
     uint32_t next_ = 0;

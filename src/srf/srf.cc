@@ -24,8 +24,18 @@ Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet,
         banks_[l].init(geom, l);
     slots_.assign(geom.maxStreamSlots, Slot());
     returnQueues_.assign(geom.lanes, {});
-    globalArb_.resize(geom.maxStreamSlots + 1);
+    memClaims_.clear();
+    // Fresh arbiter (not resize()): a re-init must also reset the
+    // priority pointer and grant/idle counters, or a rebuilt Machine
+    // would arbitrate differently from a fresh one.
+    globalArb_ = RoundRobinArbiter(geom.maxStreamSlots + 1);
     laneIdxRr_.assign(geom.lanes, 0);
+    crossRouteRr_ = 0;
+    curCycle_ = 0;
+    stats_.resetAll();
+    seqWords_ = 0;
+    idxInLaneWords_ = 0;
+    idxCrossWords_ = 0;
     traceCh_ = trc_->channel("srf");
     // Conflict degree caps at the per-cycle indexed access attempts:
     // lanes x sub-arrays is a generous upper bound for the range.
@@ -794,6 +804,49 @@ Srf::endCycle(Cycle now)
 
     routeCrossLane(now);
     progressReturns(now);
+}
+
+Cycle
+Srf::nextEvent(Cycle now) const
+{
+    // Any buffered work means a dense endCycle can move words (or at
+    // least a queue head can age toward eligibility) next cycle.
+    for (SlotId id = 0; id < static_cast<SlotId>(slots_.size()); id++) {
+        if (slotWantsSeqPort(id))
+            return now + 1;
+        const Slot &s = slots_[id];
+        if (!s.open || !s.cfg.indexed)
+            continue;
+        for (const auto &ls : s.lanes)
+            if (!ls.fifo.empty())
+                return now + 1;
+    }
+    for (const auto &b : banks_)
+        if (b.hasRemote())
+            return now + 1;
+    for (const auto &q : returnQueues_)
+        if (!q.empty())
+            return now + 1;
+    // Quiescent: every per-cycle side effect left is bulk-creditable
+    // via skipCycles (idle counters, RR rotation).
+    return kNoEvent;
+}
+
+void
+Srf::skipCycles(Cycle from, Cycle to)
+{
+    uint64_t n = to - from;
+    // A quiescent endCycle arbitrates over all-zero claims: the global
+    // arbiter counts an idle cycle (priority pointer frozen) and the
+    // port-idle counter increments.
+    stats_.counter("port_idle_cycles").inc(n);
+    globalArb_.skipIdle(n);
+    // routeCrossLane() rotates its slot round-robin pointer every cycle
+    // regardless of work.
+    crossRouteRr_ = static_cast<uint32_t>(
+        (crossRouteRr_ + n) % slots_.size());
+    // beginCycle() stamps the cycle; the last skipped cycle is to - 1.
+    curCycle_ = to - 1;
 }
 
 uint64_t

@@ -218,6 +218,22 @@ class Srf
     void beginCycle(Cycle now);
     void endCycle(Cycle now);
 
+    /**
+     * Earliest future cycle the SRF itself can make progress, queried
+     * after endCycle(now) in skip mode. The SRF is a slave of its
+     * clients: it either has buffered work (any seq refill/drain
+     * pending, any address FIFO or remote/return queue non-empty) and
+     * reports now + 1, or it is fully quiescent and reports kNoEvent.
+     */
+    Cycle nextEvent(Cycle now) const;
+
+    /**
+     * Bulk-credit n skipped quiescent cycles: the idle-port counters,
+     * the cross-lane routing round-robin rotation, and the cycle stamp
+     * — exactly what n dense begin/endCycle pairs do when quiescent.
+     */
+    void skipCycles(Cycle from, Cycle to);
+
     // ------------------------------------------------------------------
     // Statistics
     // ------------------------------------------------------------------

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Dense-vs-skip tick-engine equivalence and Machine re-initialization
+ * safety.
+ *
+ * The skip engine (MachineConfig::engineMode == EngineMode::Skip) must
+ * be an *invisible* optimization: for every workload and machine kind,
+ * cycle counts, Figure 12 breakdown buckets, traffic counters and the
+ * full machineReportJson must match dense mode byte for byte. Dense
+ * mode is the oracle; any divergence is a bug in a component's
+ * nextEvent()/skip-credit implementation.
+ *
+ * Also covered here:
+ *  - the nextEvent() contract: a component reporting an event in the
+ *    past panics the engine instead of time-traveling;
+ *  - Engine::clear() and the re-init path: Machine::init() called on a
+ *    used machine must behave exactly like a fresh Machine (the old
+ *    code left the engine holding dangling watchdog/sampler pointers
+ *    and a stale clock).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "core/stream_program.h"
+#include "sim/engine.h"
+#include "test_helpers.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+namespace {
+
+/** setenv/unsetenv with automatic restore. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        hadOld_ = old != nullptr;
+        if (hadOld_)
+            old_ = old;
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (hadOld_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_, old_;
+    bool hadOld_ = false;
+};
+
+TEST(EngineModeEnv, FromEnvParsesAndDefaults)
+{
+    {
+        ScopedEnv env("ISRF_ENGINE", "skip");
+        EXPECT_EQ(MachineConfig::base().fromEnv().engineMode,
+                  EngineMode::Skip);
+    }
+    {
+        ScopedEnv env("ISRF_ENGINE", "dense");
+        EXPECT_EQ(MachineConfig::base().fromEnv().engineMode,
+                  EngineMode::Dense);
+    }
+    {
+        // Invalid values warn and fall back to the default.
+        ScopedEnv env("ISRF_ENGINE", "bogus");
+        EXPECT_EQ(MachineConfig::base().fromEnv().engineMode,
+                  EngineMode::Dense);
+    }
+    {
+        ScopedEnv env("ISRF_ENGINE", nullptr);
+        EXPECT_EQ(MachineConfig::base().fromEnv().engineMode,
+                  EngineMode::Dense);
+    }
+    EXPECT_EQ(MachineConfig::base().engineMode, EngineMode::Dense)
+        << "make() must not read the environment";
+}
+
+const std::vector<MachineKind> &
+allKinds()
+{
+    static const std::vector<MachineKind> kinds = {
+        MachineKind::Base, MachineKind::ISRF1, MachineKind::ISRF4,
+        MachineKind::Cache,
+    };
+    return kinds;
+}
+
+WorkloadResult
+runWith(const std::string &workload, MachineKind kind, EngineMode mode,
+        const WorkloadOptions &opts)
+{
+    MachineConfig cfg = MachineConfig::make(kind);
+    cfg.engineMode = mode;
+    return runWorkload(workload, cfg, opts);
+}
+
+class EngineEquivalence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EngineEquivalence, SkipMatchesDenseOnEveryMachineKind)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    for (MachineKind kind : allKinds()) {
+        WorkloadResult dense =
+            runWith(GetParam(), kind, EngineMode::Dense, opts);
+        WorkloadResult skip =
+            runWith(GetParam(), kind, EngineMode::Skip, opts);
+        EXPECT_TRUE(dense.correct) << machineKindName(kind);
+        EXPECT_TRUE(skip.correct) << machineKindName(kind);
+        EXPECT_EQ(dense.cycles, skip.cycles) << machineKindName(kind);
+        EXPECT_EQ(dense.breakdown.loopBody, skip.breakdown.loopBody)
+            << machineKindName(kind);
+        EXPECT_EQ(dense.breakdown.srfStall, skip.breakdown.srfStall)
+            << machineKindName(kind);
+        EXPECT_EQ(dense.breakdown.memStall, skip.breakdown.memStall)
+            << machineKindName(kind);
+        EXPECT_EQ(dense.breakdown.overhead, skip.breakdown.overhead)
+            << machineKindName(kind);
+        // The serialized result covers traffic counters and per-kernel
+        // bandwidth records as well; byte equality is the contract.
+        EXPECT_EQ(resultJson(dense), resultJson(skip))
+            << machineKindName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, EngineEquivalence,
+                         ::testing::Values("FFT 2D", "Rijndael", "Sort",
+                                           "Filter", "IG_SML", "IG_DMS",
+                                           "IG_DCS", "IG_SCL"));
+
+TEST(EngineEquivalenceExtras, SamplerAndWatchdogDoNotDiverge)
+{
+    // The sampler forces dense ticks at interval boundaries and the
+    // watchdog at its check cycles; both must neither perturb results
+    // nor be starved of their boundaries by a skip.
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    for (MachineKind kind : {MachineKind::Base, MachineKind::ISRF4}) {
+        MachineConfig dense = MachineConfig::make(kind);
+        dense.statSampleInterval = 500;
+        dense.faults.watchdogInterval = 2000;
+        MachineConfig skip = dense;
+        skip.engineMode = EngineMode::Skip;
+        WorkloadResult a = runWorkload("Sort", dense, opts);
+        WorkloadResult b = runWorkload("Sort", skip, opts);
+        EXPECT_TRUE(a.correct);
+        EXPECT_TRUE(b.correct);
+        EXPECT_EQ(resultJson(a), resultJson(b)) << machineKindName(kind);
+    }
+}
+
+/**
+ * Drive a small copy kernel on a machine built from cfg; returns the
+ * cycle count and leaves report/sampler output in the out-params.
+ */
+uint64_t
+runCopyProgram(const MachineConfig &cfgIn, std::string *report,
+               std::string *samplerCsv)
+{
+    MachineConfig cfg = cfgIn;
+    cfg.dram.capacityWords = 1 << 16;
+    Machine m;
+    m.init(cfg);
+    std::vector<Word> data(256);
+    for (size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<Word>(i * 3 + 1);
+    m.mem().dram().fill(0, data);
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 256);
+    SlotId out = prog.addStream("out", 256);
+    prog.load(in, 0);
+    static KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, data));
+    uint64_t cycles = prog.run();
+    if (report)
+        *report = machineReportJson(m);
+    if (samplerCsv)
+        *samplerCsv = m.sampler() ? m.sampler()->csv() : "";
+    return cycles;
+}
+
+TEST(EngineEquivalenceExtras, MachineReportJsonByteIdentical)
+{
+    MachineConfig dense = MachineConfig::isrf4();
+    dense.statSampleInterval = 256;
+    dense.faults.watchdogInterval = 1024;
+    MachineConfig skip = dense;
+    skip.engineMode = EngineMode::Skip;
+
+    std::string denseReport, denseCsv, skipReport, skipCsv;
+    uint64_t denseCycles = runCopyProgram(dense, &denseReport, &denseCsv);
+    uint64_t skipCycles = runCopyProgram(skip, &skipReport, &skipCsv);
+    EXPECT_EQ(denseCycles, skipCycles);
+    EXPECT_EQ(denseReport, skipReport);
+    // Interval samples land on the same boundaries with the same
+    // deltas: skipped cycles must not swallow a sampler boundary.
+    EXPECT_FALSE(denseCsv.empty());
+    EXPECT_EQ(denseCsv, skipCsv);
+}
+
+// ----------------------------------------------------------------------
+// Engine-level skip semantics
+// ----------------------------------------------------------------------
+
+/** Ticks densely until `wake`, then has no further self-driven work. */
+struct FarEventComponent : Ticked
+{
+    explicit FarEventComponent(Cycle w) : wake(w) {}
+    Cycle wake;
+    uint64_t ticks = 0;
+    uint64_t skipped = 0;
+    void tick(Cycle) override { ticks++; }
+    Cycle
+    nextEvent(Cycle now) override
+    {
+        return now < wake ? wake : kNoEvent;
+    }
+    void skipTo(Cycle from, Cycle to) override { skipped += to - from; }
+    std::string tickedName() const override { return "far"; }
+};
+
+TEST(EngineSkip, StepJumpsToNextEventAndCreditsSkippedCycles)
+{
+    Engine e;
+    e.setMode(EngineMode::Skip);
+    FarEventComponent c(100);
+    e.add(&c);
+    e.step();  // tick cycle 0, then jump over [1, 100)
+    EXPECT_EQ(c.ticks, 1u);
+    EXPECT_EQ(c.skipped, 99u);
+    EXPECT_EQ(e.now(), 100u);
+    // At the event cycle the component goes quiet (kNoEvent): the
+    // engine must stay dense rather than jump to infinity.
+    e.step();
+    EXPECT_EQ(c.ticks, 2u);
+    EXPECT_EQ(e.now(), 101u);
+}
+
+TEST(EngineSkip, StepsIsExactEvenWhenJumping)
+{
+    Engine e;
+    e.setMode(EngineMode::Skip);
+    FarEventComponent c(1000);
+    e.add(&c);
+    e.steps(10);  // jump is clamped to the requested boundary
+    EXPECT_EQ(e.now(), 10u);
+    EXPECT_EQ(c.ticks, 1u);
+    EXPECT_EQ(c.skipped, 9u);
+}
+
+struct StaleComponent : Ticked
+{
+    void tick(Cycle) override {}
+    Cycle nextEvent(Cycle now) override { return now; }  // illegal
+    std::string tickedName() const override { return "stale"; }
+};
+
+TEST(EngineSkipDeathTest, StaleNextEventPanics)
+{
+    Engine e;
+    e.setMode(EngineMode::Skip);
+    StaleComponent s;
+    e.add(&s);
+    EXPECT_DEATH(e.step(), "time travel");
+}
+
+struct TickCounter : Ticked
+{
+    uint64_t ticks = 0;
+    void tick(Cycle) override { ticks++; }
+    std::string tickedName() const override { return "counter"; }
+};
+
+TEST(EngineClear, UnregistersComponentsAndRewindsClock)
+{
+    Engine e;
+    TickCounter a;
+    e.add(&a);
+    e.steps(5);
+    EXPECT_EQ(e.now(), 5u);
+    EXPECT_EQ(a.ticks, 5u);
+    e.clear();
+    EXPECT_EQ(e.now(), 0u);
+    e.steps(3);
+    EXPECT_EQ(a.ticks, 5u) << "cleared components must not be ticked";
+}
+
+// ----------------------------------------------------------------------
+// Machine re-initialization (the bug this PR fixes)
+// ----------------------------------------------------------------------
+
+TEST(MachineReinit, SecondInitMatchesFreshMachine)
+{
+    // watchdogInterval/statSampleInterval both register Ticked
+    // components owned by unique_ptrs that init() re-creates; before
+    // Engine::clear() existed, the second init() left the engine
+    // ticking dangling pointers (caught by ASan) and kept the old
+    // clock running.
+    MachineConfig cfg = MachineConfig::isrf4();
+    cfg.faults.watchdogInterval = 512;
+    cfg.statSampleInterval = 256;
+
+    std::string freshReport;
+    uint64_t freshCycles = runCopyProgram(cfg, &freshReport, nullptr);
+
+    MachineConfig used = cfg;
+    used.dram.capacityWords = 1 << 16;
+    Machine m;
+    m.init(used);
+    std::vector<Word> data(512, 7);
+    m.mem().dram().fill(0, data);
+    {
+        StreamProgram prog(m);
+        SlotId in = prog.addStream("in", 512);
+        SlotId out = prog.addStream("out", 512);
+        prog.load(in, 0);
+        static KernelGraph g = test::makeCopyKernel();
+        prog.kernel(test::makeCopyInvocation(m, &g, in, out, data));
+        prog.run();
+    }
+    EXPECT_GT(m.now(), 0u);
+
+    // Re-init the dirty machine and run the reference program: every
+    // stat, the clock, and the report must match a fresh machine.
+    MachineConfig second = cfg;
+    second.dram.capacityWords = 1 << 16;
+    m.init(second);
+    std::vector<Word> data2(256);
+    for (size_t i = 0; i < data2.size(); i++)
+        data2[i] = static_cast<Word>(i * 3 + 1);
+    m.mem().dram().fill(0, data2);
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 256);
+    SlotId out = prog.addStream("out", 256);
+    prog.load(in, 0);
+    static KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, data2));
+    uint64_t cycles = prog.run();
+
+    EXPECT_EQ(cycles, freshCycles);
+    EXPECT_EQ(machineReportJson(m), freshReport);
+}
+
+TEST(MachineReinit, ReinitIntoSkipModeMatchesFreshDense)
+{
+    // Mode can change across re-init; the rebuilt machine must honor
+    // the new config and still produce identical results.
+    MachineConfig dense = MachineConfig::base();
+    std::string freshReport;
+    uint64_t freshCycles = runCopyProgram(dense, &freshReport, nullptr);
+
+    Machine m;
+    MachineConfig first = dense;
+    first.dram.capacityWords = 1 << 16;
+    m.init(first);
+    m.step(100);
+
+    MachineConfig second = dense;
+    second.engineMode = EngineMode::Skip;
+    second.dram.capacityWords = 1 << 16;
+    m.init(second);
+    EXPECT_EQ(m.now(), 0u);
+    std::vector<Word> data(256);
+    for (size_t i = 0; i < data.size(); i++)
+        data[i] = static_cast<Word>(i * 3 + 1);
+    m.mem().dram().fill(0, data);
+    StreamProgram prog(m);
+    SlotId in = prog.addStream("in", 256);
+    SlotId out = prog.addStream("out", 256);
+    prog.load(in, 0);
+    static KernelGraph g = test::makeCopyKernel();
+    prog.kernel(test::makeCopyInvocation(m, &g, in, out, data));
+    EXPECT_EQ(prog.run(), freshCycles);
+    EXPECT_EQ(machineReportJson(m), freshReport);
+}
+
+} // namespace
+} // namespace isrf
