@@ -9,6 +9,15 @@
  * results report contains *only* simulation results — no timing — so
  * it is byte-identical for any --jobs value; timing goes to the
  * separate --timing-json report.
+ *
+ * Resilience (DESIGN.md §Sweep resilience): with --journal each
+ * finished job is durably appended to a JSONL journal; --resume
+ * replays journaled jobs so a killed sweep continues where it stopped,
+ * with a --json report byte-identical to an uninterrupted run's.
+ * --timeout-s bounds each attempt's wall-clock time and --retries
+ * re-runs TimedOut/Stalled attempts with jittered backoff. The hidden
+ * --with-hang flag injects a synthetic never-terminating job (used by
+ * CI to prove a hung job cannot block the sweep).
  */
 #include <cinttypes>
 
@@ -30,6 +39,7 @@ writeTimingJson(const std::string &path, const SweepRunner &runner,
     w.key("wall_seconds").value(t.wallSeconds);
     w.key("sum_job_seconds").value(t.sumJobSeconds);
     w.key("speedup").value(t.speedup());
+    w.key("replayed").value(static_cast<uint64_t>(t.replayed));
     w.key("jobs").beginArray();
     for (const auto &o : outcomes) {
         w.beginObject();
@@ -38,6 +48,9 @@ writeTimingJson(const std::string &path, const SweepRunner &runner,
         w.key("wall_seconds").value(o.wallSeconds);
         w.key("cycles").value(o.result.cycles);
         w.key("correct").value(o.result.correct);
+        w.key("status").value(std::string(runStatusName(o.status)));
+        w.key("attempts").value(static_cast<uint64_t>(o.attempts));
+        w.key("from_journal").value(o.fromJournal);
         w.endObject();
     }
     w.endArray();
@@ -49,18 +62,90 @@ writeTimingJson(const std::string &path, const SweepRunner &runner,
                      path.c_str());
 }
 
+/**
+ * Write the sweep --json report by splicing each outcome's canonical
+ * resultText. For executed jobs resultText is exactly resultJson(), so
+ * this matches the historical writeBenchJson() output byte for byte;
+ * for journal-replayed jobs it is the journaled bytes — which is what
+ * makes a resumed run's report byte-identical to an uninterrupted
+ * run's.
+ */
+void
+writeSweepJson(const std::string &path,
+               const std::vector<SweepOutcome> &outcomes)
+{
+    std::map<std::string, const SweepOutcome *> ordered;
+    for (const auto &o : outcomes)
+        ordered.emplace(o.workload + "/" + machineKindName(o.kind), &o);
+    JsonWriter w;
+    w.beginObject();
+    w.key("results").beginObject();
+    for (const auto &kv : ordered)
+        w.key(kv.first).raw(kv.second->resultText.empty()
+                                ? resultJson(kv.second->result)
+                                : kv.second->resultText);
+    w.endObject();
+    w.endObject();
+    if (writeTextFile(path, w.str()))
+        std::fprintf(stderr, "wrote JSON results to %s\n",
+                     path.c_str());
+    else
+        std::fprintf(stderr, "ERROR: could not write %s\n",
+                     path.c_str());
+}
+
+/**
+ * A component that is never quiescent: nextEvent is always now + 1, so
+ * the engine can never skip ahead and a hang burns cycles identically
+ * under ISRF_ENGINE=dense and skip.
+ */
+struct Spinner : Ticked
+{
+    uint64_t ticks = 0;
+    void tick(Cycle) override { ticks++; }
+    Cycle nextEvent(Cycle now) override { return now + 1; }
+    std::string tickedName() const override { return "spinner"; }
+};
+
+/**
+ * Synthetic hung job (--with-hang): drives a real Engine with a
+ * predicate that never holds, exercising the genuine cooperative-
+ * deadline exit path. Without --timeout-s (or an external cancel) it
+ * runs to the 2^40-cycle limit — i.e., effectively forever.
+ */
+WorkloadResult
+runHang(const MachineConfig &cfg, const WorkloadOptions &opts)
+{
+    WorkloadResult res;
+    res.workload = "Hang";
+    res.kind = cfg.kind;
+    Engine eng;
+    eng.setMode(cfg.engineMode);
+    Spinner spin;
+    eng.add(&spin);
+    eng.setCancel(opts.cancel);
+    RunResult r = eng.runUntil([] { return false; }, 1ull << 40);
+    res.status = r.status == RunStatus::Limit ? RunStatus::Stalled
+                                              : r.status;
+    res.cycles = r.cycles;
+    return res;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    // Peel off --timing-json before the shared parser sees it.
+    // Peel off the sweep-only flags before the shared parser sees them.
     std::string timingPath;
+    bool withHang = false;
     std::vector<char *> rest;
     rest.push_back(argv[0]);
     for (int i = 1; i < argc; i++) {
         if (std::string(argv[i]) == "--timing-json" && i + 1 < argc) {
             timingPath = argv[++i];
+        } else if (std::string(argv[i]) == "--with-hang") {
+            withHang = true;
         } else {
             rest.push_back(argv[i]);
         }
@@ -75,11 +160,25 @@ main(int argc, char **argv)
     opts.repeats = 2;
     auto jobs = SweepRunner::matrix(benchmarkOrder(), machineOrder(),
                                     opts);
+    if (withHang) {
+        SweepJob hang;
+        hang.workload = "Hang";
+        hang.cfg = MachineConfig::make(MachineKind::Base).fromEnv();
+        hang.opts = opts;
+        hang.runner = runHang;
+        jobs.push_back(std::move(hang));
+    }
+
+    SweepPolicy policy;
+    policy.timeoutSeconds = args.timeoutSeconds;
+    policy.retries = args.retries;
+    policy.journalPath = args.journalPath;
+    policy.resume = args.resume;
 
     SweepRunner runner(args.jobs);
     std::printf("running %zu jobs on %u thread(s)...\n\n", jobs.size(),
                 args.jobs);
-    auto outcomes = runner.run(jobs,
+    auto outcomes = runner.run(jobs, policy,
         [](const SweepJob &job, bool finished, size_t done,
            size_t total) {
             if (finished)
@@ -88,36 +187,40 @@ main(int argc, char **argv)
                           job.cfg.name().c_str());
         });
 
-    Table t({"Benchmark", "Config", "Cycles", "Correct", "Wall (s)"});
-    bool allCorrect = true;
+    Table t({"Benchmark", "Config", "Cycles", "Correct", "Status",
+             "Att", "Wall (s)"});
+    bool allGood = true;
     for (const auto &o : outcomes) {
-        allCorrect = allCorrect && o.result.correct;
+        allGood = allGood &&
+            o.status == RunStatus::Done && o.result.correct;
         t.addRow({o.workload, machineKindName(o.kind),
                   std::to_string(o.result.cycles),
                   o.result.correct ? "yes" : "NO",
+                  o.fromJournal
+                      ? std::string(runStatusName(o.status)) + "*"
+                      : runStatusName(o.status),
+                  std::to_string(o.attempts),
                   fmtDouble(o.wallSeconds, 3)});
     }
     std::printf("%s\n", t.render().c_str());
+    if (runner.timing().replayed > 0)
+        std::printf("(* = replayed from journal %s)\n\n",
+                    args.journalPath.c_str());
 
     const SweepTiming &timing = runner.timing();
     std::printf("threads:            %u\n", timing.threads);
     std::printf("total wall time:    %.3f s\n", timing.wallSeconds);
     std::printf("sum of job times:   %.3f s\n", timing.sumJobSeconds);
+    std::printf("replayed jobs:      %zu\n", timing.replayed);
     std::printf("aggregate speedup:  %.2fx\n", timing.speedup());
-    std::printf("all correct:        %s\n", allCorrect ? "yes" : "NO");
+    std::printf("all done+correct:   %s\n", allGood ? "yes" : "NO");
 
-    if (!args.jsonPath.empty()) {
-        // Deterministic, timing-free: byte-identical across --jobs.
-        std::map<std::string, WorkloadResult> results;
-        for (const auto &o : outcomes)
-            results.emplace(o.workload + "/" + machineKindName(o.kind),
-                            o.result);
-        writeBenchJson(args.jsonPath, results);
-    }
+    if (!args.jsonPath.empty())
+        writeSweepJson(args.jsonPath, outcomes);
     if (!timingPath.empty())
         writeTimingJson(timingPath, runner, outcomes);
     BenchArgs traceOnly = args;
     traceOnly.jsonPath.clear();
     finishBench(traceOnly);
-    return allCorrect ? 0 : 1;
+    return allGood ? 0 : 1;
 }

@@ -202,6 +202,11 @@ struct BenchArgs
     std::string tracePath;  ///< --trace: Chrome trace-event JSON
     unsigned jobs = 1;      ///< --jobs: sweep thread-pool width
     bool quiet = false;     ///< --quiet: suppress progress chatter
+    // Sweep resilience (bench_sweep; DESIGN.md §Sweep resilience):
+    std::string journalPath;   ///< --journal: per-job JSONL journal
+    bool resume = false;       ///< --resume: replay journaled jobs
+    double timeoutSeconds = 0; ///< --timeout-s: per-attempt deadline
+    unsigned retries = 0;      ///< --retries: extra attempts
 };
 
 /**
@@ -212,6 +217,10 @@ struct BenchArgs
  *   --faults <spec>          enable fault injection (ISRF_FAULTS syntax)
  *   --jobs <n>               run independent simulations n-wide
  *   --quiet                  suppress progress output
+ *   --journal <path>         append per-job outcomes to a JSONL journal
+ *   --resume                 replay journaled outcomes (with --journal)
+ *   --timeout-s <secs>       per-attempt wall-clock deadline
+ *   --retries <n>            retry TimedOut/Stalled jobs up to n times
  * --trace enables all channels unless a channel spec (or ISRF_TRACE)
  * already selected some. --faults/--trace-channels export their specs
  * into the environment so every MachineConfig::fromEnv() snapshot
@@ -254,6 +263,31 @@ parseBenchArgs(int argc, char **argv)
                 std::exit(2);
             }
             args.jobs = static_cast<unsigned>(n);
+        } else if (s == "--journal") {
+            args.journalPath = next(i, "--journal");
+        } else if (s == "--resume") {
+            args.resume = true;
+        } else if (s == "--timeout-s") {
+            std::string v = next(i, "--timeout-s");
+            char *end = nullptr;
+            double secs = std::strtod(v.c_str(), &end);
+            if (!end || *end != '\0' || !(secs > 0.0)) {
+                std::fprintf(stderr,
+                             "--timeout-s expects a positive number, "
+                             "got '%s'\n", v.c_str());
+                std::exit(2);
+            }
+            args.timeoutSeconds = secs;
+        } else if (s == "--retries") {
+            std::string v = next(i, "--retries");
+            uint64_t n = 0;
+            if (!parseU64(v, n) || n > 100) {
+                std::fprintf(stderr,
+                             "--retries expects an integer in [0,100], "
+                             "got '%s'\n", v.c_str());
+                std::exit(2);
+            }
+            args.retries = static_cast<unsigned>(n);
         } else if (s == "--quiet") {
             args.quiet = true;
             quietFlag() = true;
@@ -261,13 +295,19 @@ parseBenchArgs(int argc, char **argv)
             std::printf(
                 "usage: %s [--json <path>] [--trace <path>] "
                 "[--trace-channels <spec>] [--faults <spec>] "
-                "[--jobs <n>] [--quiet]\n", argv[0]);
+                "[--jobs <n>] [--quiet] [--journal <path>] "
+                "[--resume] [--timeout-s <secs>] [--retries <n>]\n",
+                argv[0]);
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s' (try --help)\n",
                          s.c_str());
             std::exit(2);
         }
+    }
+    if (args.resume && args.journalPath.empty()) {
+        std::fprintf(stderr, "--resume requires --journal <path>\n");
+        std::exit(2);
     }
     if (!args.tracePath.empty() && !Tracer::instance().on()) {
         setenv("ISRF_TRACE", "all", 1);

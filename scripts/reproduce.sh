@@ -17,10 +17,14 @@ REPORTS="$BUILD/reports"
 mkdir -p "$REPORTS"
 
 echo "==> full-matrix parallel sweep ($JOBS jobs)"
+# Journaled + resumable: rerunning this script after an interruption
+# replays finished jobs from the journal instead of re-simulating
+# them. Delete the journal (or the build dir) to force a fresh sweep.
 "$BUILD/bench/bench_sweep" --jobs "$JOBS" --quiet \
+    --journal "$REPORTS/bench_sweep.jsonl" --resume \
     --json "$REPORTS/bench_sweep.json" \
     --timing-json "$REPORTS/bench_sweep_timing.json" \
-    | grep -E "wall time|speedup|all correct"
+    | grep -E "wall time|speedup|replayed|all done"
 
 echo "==> running paper benches (Tables 2-4, Figures 11-18, ablations)"
 for b in "$BUILD"/bench/bench_*; do

@@ -25,6 +25,7 @@ Machine::init(const MachineConfig &cfg)
     kernelEventCycle_ = kNoEvent;
     activeKernelName_ = nullptr;
     bwSeq0_ = bwIn0_ = bwCross0_ = 0;
+    lastRunStatus_ = RunStatus::Done;
     // The machine's private tracer: nothing here reads the
     // environment — env overrides belong in MachineConfig::fromEnv().
     if (!cfg_.traceSpec.empty()) {

@@ -124,19 +124,31 @@ class Machine : public Ticked
 
     /**
      * Step until pred() or the cycle limit; never panics. When the
-     * watchdog trips before pred() holds, the result is downgraded to
-     * RunStatus::Stalled so callers can distinguish "no forward
-     * progress" from an honest cycle-budget overrun.
+     * watchdog trips before pred() holds, a Limit result is downgraded
+     * to RunStatus::Stalled so callers can distinguish "no forward
+     * progress" from an honest cycle-budget overrun. TimedOut and
+     * Cancelled (from the engine's CancelToken) pass through
+     * unchanged — a wall-clock deadline is a different diagnosis than
+     * a stall, even if the watchdog also fired.
      */
     RunResult
     runUntil(const std::function<bool()> &pred,
              uint64_t limit = 1ull << 30)
     {
         RunResult r = engine_.runUntil(pred, limit);
-        if (r.status != RunStatus::Done && watchdogTriggered())
+        if (r.status == RunStatus::Limit && watchdogTriggered())
             r.status = RunStatus::Stalled;
+        noteRunStatus(r.status);
         return r;
     }
+
+    /**
+     * How the most recent drive loop over this machine ended (set by
+     * runUntil() and StreamProgram::run); surfaces in machineReport /
+     * machineReportJson when not Done. Done before any run.
+     */
+    RunStatus lastRunStatus() const { return lastRunStatus_; }
+    void noteRunStatus(RunStatus s) { lastRunStatus_ = s; }
 
     const TimeBreakdown &breakdown() const { return breakdown_; }
     const std::map<std::string, KernelBwRecord> &kernelBw() const
@@ -197,6 +209,7 @@ class Machine : public Ticked
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<Watchdog> watchdog_;
     bool faultsEnabled_ = false;
+    RunStatus lastRunStatus_ = RunStatus::Done;
 
     std::shared_ptr<KernelInvocation> active_;
     std::vector<SlotId> activeOutputs_;

@@ -42,6 +42,12 @@ machineReport(Machine &m, const ReportOptions &opts)
         out << "cycles=" << m.now() << "  " << b.summary() << "\n";
     }
 
+    // Only abnormal endings are surfaced, so reports of healthy runs
+    // stay byte-identical across engine modes and run-loop details.
+    if (m.lastRunStatus() != RunStatus::Done)
+        out << "run status: " << runStatusName(m.lastRunStatus())
+            << "\n";
+
     if (opts.includeSrf) {
         out << strprintf(
             "srf: seqWords=%llu inLaneIdxWords=%llu crossIdxWords=%llu "
@@ -157,6 +163,11 @@ machineReportJson(Machine &m, const ReportOptions &opts)
         w.field("total", b.total());
         w.endObject();
     }
+
+    // Emitted only for abnormal endings (see machineReport above).
+    if (m.lastRunStatus() != RunStatus::Done)
+        w.field("run_status",
+                std::string(runStatusName(m.lastRunStatus())));
 
     if (opts.includeSrf) {
         w.key("srf").beginObject();

@@ -268,6 +268,7 @@ StreamProgram::run(uint64_t maxCycles)
     // of issue decisions is identical in both modes.
     const Cycle start = machine_.now();
     uint64_t cycles = 0;
+    status_ = RunStatus::Done;
     while (true) {
         updateCompletion();
         if (allDone() && machine_.mem().idle() && !machine_.kernelActive())
@@ -279,6 +280,19 @@ StreamProgram::run(uint64_t maxCycles)
             ISRF_WARN("StreamProgram::run: watchdog tripped at cycle "
                       "%llu; stopping",
                       static_cast<unsigned long long>(cycles));
+            status_ = RunStatus::Stalled;
+            break;
+        }
+        // Cooperative cancellation/deadline (Engine::setCancel): the
+        // same check points as Engine::runUntil — between steps, after
+        // the completion test, so a finished program is never reported
+        // cancelled and dense/skip modes stop identically.
+        RunStatus cs = machine_.engine().pollCancel();
+        if (cs != RunStatus::Done) {
+            ISRF_WARN("StreamProgram::run: %s at cycle %llu; stopping",
+                      runStatusName(cs),
+                      static_cast<unsigned long long>(cycles));
+            status_ = cs;
             break;
         }
         tryIssue();
@@ -288,6 +302,7 @@ StreamProgram::run(uint64_t maxCycles)
             panic("StreamProgram::run: exceeded %llu cycles (deadlock?)",
                   static_cast<unsigned long long>(maxCycles));
     }
+    machine_.noteRunStatus(status_);
     return cycles;
 }
 

@@ -107,10 +107,20 @@ class StreamProgram
     // ------------------------------------------------------------------
 
     /**
-     * Run to completion (all ops done, memory system idle).
+     * Run to completion (all ops done, memory system idle), or until
+     * the machine's watchdog trips or the engine's CancelToken (see
+     * Engine::setCancel) requests cancellation / expires its deadline.
+     * How the run ended is reported by lastStatus(); non-Done runs
+     * leave the machine at a consistent cycle boundary.
      * @return total machine cycles elapsed during this call.
      */
     uint64_t run(uint64_t maxCycles = 1ull << 30);
+
+    /**
+     * How the most recent run() ended: Done, Stalled (watchdog),
+     * TimedOut (deadline) or Cancelled. Done before any run().
+     */
+    RunStatus lastStatus() const { return status_; }
 
     /** Number of operations recorded. */
     size_t opCount() const { return ops_.size(); }
@@ -149,6 +159,7 @@ class StreamProgram
     std::vector<std::vector<ProgOpId>> readersSinceWrite_;
     std::vector<SlotId> openedSlots_;
     ProgOpId activeKernelOp_ = -1;
+    RunStatus status_ = RunStatus::Done;
 };
 
 } // namespace isrf

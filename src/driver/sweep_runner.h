@@ -24,11 +24,14 @@
 #ifndef ISRF_DRIVER_SWEEP_RUNNER_H
 #define ISRF_DRIVER_SWEEP_RUNNER_H
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
+#include "sim/engine.h"
 #include "workloads/workload.h"
 
 namespace isrf {
@@ -39,6 +42,13 @@ struct SweepJob
     std::string workload;  ///< name in workloadRegistry()
     MachineConfig cfg;     ///< resolved config (env already applied)
     WorkloadOptions opts;
+    /**
+     * Optional runner override (tests, synthetic jobs); when set it is
+     * invoked instead of the registry lookup. Custom-runner jobs are
+     * fingerprinted as such: the journal cannot attest arbitrary code,
+     * so their records never silently replace a registry workload's.
+     */
+    WorkloadRunner runner;
 };
 
 /** One finished job, in submission order. */
@@ -48,6 +58,22 @@ struct SweepOutcome
     MachineKind kind = MachineKind::Base;
     WorkloadResult result;
     double wallSeconds = 0.0;  ///< this job's wall-clock time
+    /**
+     * Final job status: result.status for executed jobs (Done /
+     * Stalled / TimedOut / Cancelled), or Failed when the workload
+     * threw (message in result.error).
+     */
+    RunStatus status = RunStatus::Done;
+    /** Attempts consumed (1 + retries actually used). */
+    uint32_t attempts = 1;
+    /** True when replayed from the journal instead of re-simulated. */
+    bool fromJournal = false;
+    /**
+     * Canonical resultJson(result) bytes. For replayed jobs these are
+     * the journaled bytes, so a resumed sweep's JSON export is
+     * byte-identical to an uninterrupted run's.
+     */
+    std::string resultText;
 };
 
 /** Aggregate timing for a whole sweep. */
@@ -55,12 +81,69 @@ struct SweepTiming
 {
     unsigned threads = 1;
     double wallSeconds = 0.0;     ///< sweep start to last completion
-    double sumJobSeconds = 0.0;   ///< sum of per-job wall times
+    double sumJobSeconds = 0.0;   ///< sum of executed job wall times
+    size_t replayed = 0;          ///< jobs served from the journal
     /** Aggregate parallel speedup: sum of job times / sweep wall. */
     double speedup() const
     {
         return wallSeconds > 0.0 ? sumJobSeconds / wallSeconds : 1.0;
     }
+};
+
+/**
+ * Resilience policy for one sweep (see DESIGN.md §Sweep resilience).
+ * The default-constructed policy reproduces the plain run() behavior:
+ * no deadline, no retries, no journal.
+ */
+struct SweepPolicy
+{
+    /** Per-attempt wall-clock deadline in seconds (0 = none). */
+    double timeoutSeconds = 0.0;
+    /** Extra attempts after a TimedOut/Stalled attempt. */
+    uint32_t retries = 0;
+    /** First retry backoff (doubles per retry, +-50% jitter). */
+    double backoffBaseSeconds = 0.1;
+    /** Backoff ceiling. */
+    double backoffCapSeconds = 5.0;
+    /** Journal path ("" = no journal). */
+    std::string journalPath;
+    /**
+     * Replay journaled outcomes instead of re-simulating. Requires the
+     * journal's sweep fingerprint to match the submitted matrix; a
+     * mismatch (code/config drift) is a fatal stale-journal error,
+     * never a silent merge. A missing journal file is treated as a
+     * fresh start.
+     */
+    bool resume = false;
+    /** External whole-sweep cancellation (nullptr = none). */
+    const CancelToken *cancel = nullptr;
+};
+
+/** One journaled attempt record, decoded. */
+struct SweepJournalRecord
+{
+    uint64_t job = 0;          ///< job fingerprint
+    std::string workload;
+    std::string machine;
+    uint32_t attempt = 1;
+    RunStatus status = RunStatus::Done;
+    double wallSeconds = 0.0;
+    std::string resultText;    ///< raw resultJson bytes
+    std::string error;
+};
+
+/** Decoded journal: header + last record per job fingerprint. */
+struct SweepJournalLoad
+{
+    bool ok = false;
+    std::string error;             ///< why !ok (I/O, corrupt, header)
+    uint64_t sweepFingerprint = 0; ///< from the header line
+    size_t jobCount = 0;           ///< from the header line
+    bool tornFinalLine = false;    ///< a torn final record was dropped
+    /** Latest record per job fingerprint (attempt order = file order). */
+    std::map<uint64_t, SweepJournalRecord> latest;
+    /** Attempts journaled so far per job fingerprint. */
+    std::map<uint64_t, uint32_t> attempts;
 };
 
 /** Fixed-size thread pool running SweepJobs (see file comment). */
@@ -87,6 +170,48 @@ class SweepRunner
      */
     std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs,
                                   ProgressFn progress = nullptr);
+
+    /**
+     * Run all jobs under a resilience policy: per-attempt wall-clock
+     * deadlines, bounded retry-with-backoff for TimedOut/Stalled
+     * attempts, per-attempt journaling, and journal replay on resume
+     * (DESIGN.md §Sweep resilience). A stale journal — one whose sweep
+     * fingerprint does not match the submitted matrix — is a fatal()
+     * user error, never silently merged.
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob> &jobs,
+                                  const SweepPolicy &policy,
+                                  ProgressFn progress = nullptr);
+
+    /**
+     * Deterministic fingerprint of one job: FNV-1a over a canonical
+     * dump of every simulation-affecting field of (workload, config,
+     * options). Observability-only knobs — engineMode (dense and skip
+     * produce byte-identical results), traceSpec, traceCapacity — are
+     * deliberately excluded so a journal written under ISRF_ENGINE=
+     * dense resumes cleanly under skip and vice versa.
+     */
+    static uint64_t fingerprint(const SweepJob &job);
+
+    /** Fingerprint of a whole ordered matrix (hash of job hashes). */
+    static uint64_t sweepFingerprint(const std::vector<SweepJob> &jobs);
+
+    /**
+     * Decode a journal file: header line + per-attempt records. !ok
+     * covers unreadable files, corrupt interior lines, and malformed
+     * headers; a torn final record is dropped and flagged, not an
+     * error. Exposed for tests and tooling — run() applies the same
+     * logic on --resume.
+     */
+    static SweepJournalLoad loadJournal(const std::string &path);
+
+    /**
+     * True when a journaled final status may be replayed instead of
+     * re-simulated: Done / Stalled / Failed are deterministic
+     * functions of the fingerprinted inputs; TimedOut / Cancelled
+     * depend on wall-clock conditions and are always re-run.
+     */
+    static bool replayable(RunStatus s);
 
     /** Timing of the most recent run(). */
     const SweepTiming &timing() const { return timing_; }

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Append-only JSON-Lines persistence for crash-safe journals.
+ *
+ * A JSONL journal is one JSON object per line. JsonlWriter appends one
+ * fsync'd record at a time, so after a SIGKILL at any instant the file
+ * contains every previously appended record intact plus at most one
+ * torn final line. readJsonl() is the matching tolerant reader: it
+ * returns every complete, valid record and silently drops a torn
+ * final line — but treats an invalid *interior* line as corruption
+ * (that can't be produced by a torn append) and reports an error
+ * instead of guessing.
+ *
+ * JsonLineView is a minimal field extractor over one record line
+ * written by JsonWriter (util/json.h): it indexes the record's
+ * top-level keys without building a DOM, which is all the sweep
+ * journal needs to replay results byte-identically (nested values are
+ * re-spliced verbatim via raw()).
+ */
+#ifndef ISRF_UTIL_JSONL_H
+#define ISRF_UTIL_JSONL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace isrf {
+
+/** Appends one durable (fsync'd) JSON record per line. */
+class JsonlWriter
+{
+  public:
+    JsonlWriter() = default;
+    ~JsonlWriter() { close(); }
+    JsonlWriter(const JsonlWriter &) = delete;
+    JsonlWriter &operator=(const JsonlWriter &) = delete;
+
+    /**
+     * Open `path` for appending (append=true) or truncate it
+     * (append=false). @return false on I/O error.
+     */
+    bool open(const std::string &path, bool append);
+
+    bool isOpen() const { return f_ != nullptr; }
+    const std::string &path() const { return path_; }
+
+    /**
+     * Append one record and flush+fsync it. `json` must be a single
+     * valid JSON value with no embedded newline (the writer validates
+     * and refuses otherwise — an invalid record would poison every
+     * later read of the journal). @return false on validation or I/O
+     * failure.
+     */
+    bool append(const std::string &json);
+
+    void close();
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::string path_;
+};
+
+/** Result of reading a JSONL file tolerantly. */
+struct JsonlReadResult
+{
+    /** Every complete, valid record, in file order. */
+    std::vector<std::string> records;
+    /** True when a torn (incomplete, invalid) final line was dropped. */
+    bool tornFinalLine = false;
+    /** Bytes discarded with the torn final line. */
+    size_t tornBytes = 0;
+    /** Non-empty on unreadable file or corrupt interior line. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Read a JSONL file, recovering every complete record (see file
+ * comment for the torn-line contract). A missing file is an error —
+ * callers distinguish "no journal yet" themselves.
+ */
+JsonlReadResult readJsonl(const std::string &path);
+
+/**
+ * Index of one JSON object line's top-level fields.
+ *
+ * Built for machine-written records (JsonWriter output): exact
+ * top-level key spans are recorded, nested containers are kept as raw
+ * text. valid() is false when the line is not a JSON object — getters
+ * then all fail.
+ */
+class JsonLineView
+{
+  public:
+    explicit JsonLineView(std::string line);
+
+    bool valid() const { return valid_; }
+
+    /** Top-level keys, sorted (serialized order is not preserved). */
+    std::vector<std::string> keys() const;
+
+    /** Raw value text exactly as serialized (objects/arrays too). */
+    bool getRaw(const std::string &key, std::string &out) const;
+    /** String value, unescaped. */
+    bool getString(const std::string &key, std::string &out) const;
+    bool getU64(const std::string &key, uint64_t &out) const;
+    bool getDouble(const std::string &key, double &out) const;
+    bool getBool(const std::string &key, bool &out) const;
+
+  private:
+    std::string line_;
+    bool valid_ = false;
+    /** key -> [begin, end) value span in line_. */
+    std::map<std::string, std::pair<size_t, size_t>> spans_;
+};
+
+/** Decode a JSON string literal's body (no quotes) to UTF-8. */
+std::string jsonUnescape(const std::string &s);
+
+} // namespace isrf
+
+#endif // ISRF_UTIL_JSONL_H

@@ -208,6 +208,7 @@ runIgraph(const std::string &dataset, const MachineConfig &machineCfg,
     }
     Machine m;
     m.init(cfg);
+    m.engine().setCancel(opts.cancel);
 
     WorkloadResult res;
     const IgDataset &ds = igDataset(dataset);
@@ -422,7 +423,13 @@ runIgraph(const std::string &dataset, const MachineConfig &machineCfg,
     }
 
     uint64_t cycles = prog.run();
+    res.status = prog.lastStatus();
     harvestResult(res, m, cycles);
+    if (res.status != RunStatus::Done) {
+        // Interrupted run (watchdog/deadline/cancel): the functional
+        // output is incomplete, so skip the reference validation.
+        return res;
+    }
 
     // --- validation: updated node values vs reference ---
     bool ok = true;

@@ -298,6 +298,7 @@ runRijndael(const MachineConfig &machineCfg, const WorkloadOptions &opts)
         cfg.inLaneSeparation = opts.separationOverride;
     Machine m;
     m.init(cfg);
+    m.engine().setCancel(opts.cancel);
 
     WorkloadResult res;
     res.workload = "Rijndael";
@@ -513,7 +514,13 @@ runRijndael(const MachineConfig &machineCfg, const WorkloadOptions &opts)
     }
 
     uint64_t cycles = prog.run();
+    res.status = prog.lastStatus();
     harvestResult(res, m, cycles);
+    if (res.status != RunStatus::Done) {
+        // Interrupted run (watchdog/deadline/cancel): the functional
+        // output is incomplete, so skip the reference validation.
+        return res;
+    }
 
     // --- validation: DRAM ciphertext vs reference CBC ---
     std::vector<Word> got =

@@ -95,6 +95,8 @@ resultJson(JsonWriter &w, const WorkloadResult &res)
     w.field("machine", std::string(machineKindName(res.kind)));
     w.field("cycles", res.cycles);
     w.field("correct", res.correct);
+    w.field("status", std::string(runStatusName(res.status)));
+    w.field("error", res.error);
     w.key("breakdown").beginObject();
     w.field("loop_body", res.breakdown.loopBody);
     w.field("mem_stall", res.breakdown.memStall);

@@ -39,6 +39,16 @@ struct WorkloadResult
     std::map<std::string, KernelBwRecord> kernelBw;
     /** Functional output matched the reference implementation. */
     bool correct = false;
+    /**
+     * How the simulation ended: Done for a completed run; Stalled
+     * (watchdog), TimedOut (deadline) or Cancelled when the drive loop
+     * stopped early (validation is skipped, correct=false); Failed
+     * when the workload threw (set by the sweep driver, with the
+     * exception message in `error`).
+     */
+    RunStatus status = RunStatus::Done;
+    /** Human-readable failure detail (Failed outcomes); else empty. */
+    std::string error;
     /** Workload-specific extras (strip sizes, schedule lengths, ...). */
     std::map<std::string, double> extra;
 };
@@ -55,6 +65,13 @@ struct WorkloadOptions
     uint64_t seed = 12345;
     /** Override the machine's address/data separation (0 = default). */
     uint32_t separationOverride = 0;
+    /**
+     * Cooperative cancellation / wall-clock deadline observed by the
+     * run (Engine::setCancel); nullptr = never cancelled. Not part of
+     * the simulation outcome for completed runs: a Done result is
+     * identical with or without a (untripped) token.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Signature of a workload runner. */

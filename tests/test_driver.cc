@@ -13,13 +13,19 @@
  */
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/machine.h"
 #include "driver/sweep_runner.h"
 #include "util/env.h"
+#include "util/jsonl.h"
 #include "workloads/workload.h"
 
 namespace isrf {
@@ -208,6 +214,369 @@ TEST(EnvSnapshot, InvalidValuesWarnAndDefault)
         << "unparseable ISRF_SAMPLE must fall back to the default";
     EXPECT_EQ(cfg.traceCapacity, uint64_t{1} << 16)
         << "overflowing ISRF_TRACE_CAPACITY must fall back";
+}
+
+// ----------------------------------------------------------------------
+// Sweep resilience (DESIGN.md §Sweep resilience)
+// ----------------------------------------------------------------------
+
+/** Temp journal path removed on scope exit. */
+class TempJournal
+{
+  public:
+    explicit TempJournal(const char *tag)
+    {
+        path_ = ::testing::TempDir() + "isrf_sweep_" + tag + "_" +
+            std::to_string(::getpid()) + ".jsonl";
+        std::remove(path_.c_str());
+    }
+    ~TempJournal() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/**
+ * A component that is never quiescent, so a hang cannot be skipped
+ * over in EngineMode::Skip — the engine steps densely in both modes.
+ */
+struct Spinner : Ticked
+{
+    void tick(Cycle) override {}
+    Cycle nextEvent(Cycle now) override { return now + 1; }
+    std::string tickedName() const override { return "spinner"; }
+};
+
+/** Runner that never terminates on its own: only a token stops it. */
+WorkloadResult
+hangRunner(const MachineConfig &cfg, const WorkloadOptions &opts)
+{
+    WorkloadResult res;
+    res.workload = "Hang";
+    res.kind = cfg.kind;
+    Engine eng;
+    eng.setMode(cfg.engineMode);
+    Spinner spin;
+    eng.add(&spin);
+    eng.setCancel(opts.cancel);
+    RunResult r = eng.runUntil([] { return false; }, 1ull << 40);
+    res.status = r.status;
+    res.cycles = r.cycles;
+    return res;
+}
+
+SweepJob
+hangJob(EngineMode mode)
+{
+    SweepJob j;
+    j.workload = "Hang";
+    j.cfg = MachineConfig::make(MachineKind::Base);
+    j.cfg.engineMode = mode;
+    j.runner = hangRunner;
+    return j;
+}
+
+TEST(SweepResilience, TimeoutUnhangsAJobInBothEngineModes)
+{
+    for (EngineMode mode : {EngineMode::Dense, EngineMode::Skip}) {
+        SweepPolicy policy;
+        policy.timeoutSeconds = 0.2;
+        SweepRunner runner(1);
+        auto out = runner.run({hangJob(mode)}, policy);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_EQ(out[0].status, RunStatus::TimedOut)
+            << engineModeName(mode);
+        EXPECT_EQ(out[0].attempts, 1u);
+        EXPECT_GT(out[0].result.cycles, 0u);
+        EXPECT_LT(out[0].wallSeconds, 30.0)
+            << "the deadline must actually bound the attempt";
+    }
+}
+
+TEST(SweepResilience, SweepCancelStopsJobsAndNeverHangsThePool)
+{
+    // A pre-cancelled sweep token: every job observes it at its first
+    // poll point and returns Cancelled without simulating anything.
+    CancelToken cancel;
+    cancel.cancel();
+    SweepPolicy policy;
+    policy.cancel = &cancel;
+    SweepRunner runner(2);
+    auto out =
+        runner.run({hangJob(EngineMode::Dense),
+                    hangJob(EngineMode::Skip)}, policy);
+    ASSERT_EQ(out.size(), 2u);
+    for (const auto &o : out) {
+        EXPECT_EQ(o.status, RunStatus::Cancelled);
+        EXPECT_EQ(o.result.cycles, 0u)
+            << "a pre-cancelled run must stop before the first step";
+    }
+}
+
+TEST(SweepResilience, ThrowingJobBecomesFailedAndPoolKeepsDraining)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    std::vector<SweepJob> jobs;
+    SweepJob bad;
+    bad.workload = "Thrower";
+    bad.cfg = MachineConfig::make(MachineKind::Base);
+    bad.runner = [](const MachineConfig &,
+                    const WorkloadOptions &) -> WorkloadResult {
+        throw std::runtime_error("synthetic workload failure");
+    };
+    jobs.push_back(bad);
+    // Real workloads queued after the thrower must still complete.
+    auto rest = SweepRunner::matrix(
+        {"Sort"}, {MachineKind::Base, MachineKind::ISRF4}, opts);
+    jobs.insert(jobs.end(), rest.begin(), rest.end());
+
+    SweepRunner runner(2);
+    auto out = runner.run(jobs, SweepPolicy());
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].status, RunStatus::Failed);
+    EXPECT_EQ(out[0].result.status, RunStatus::Failed);
+    EXPECT_EQ(out[0].result.error, "synthetic workload failure");
+    EXPECT_EQ(out[0].attempts, 1u)
+        << "exceptions are deterministic: no retry";
+    for (size_t i = 1; i < out.size(); i++) {
+        EXPECT_EQ(out[i].status, RunStatus::Done) << i;
+        EXPECT_TRUE(out[i].result.correct) << i;
+    }
+}
+
+TEST(SweepResilience, RetriesStalledJobsWithBoundedAttempts)
+{
+    // Succeeds on the third attempt; retries must be journaled per
+    // attempt and the final outcome must report attempts used.
+    auto flaky = std::make_shared<std::atomic<uint32_t>>(0);
+    SweepJob job;
+    job.workload = "Flaky";
+    job.cfg = MachineConfig::make(MachineKind::Base);
+    job.runner = [flaky](const MachineConfig &cfg,
+                         const WorkloadOptions &) {
+        WorkloadResult r;
+        r.workload = "Flaky";
+        r.kind = cfg.kind;
+        r.status = ++*flaky < 3 ? RunStatus::Stalled : RunStatus::Done;
+        r.correct = r.status == RunStatus::Done;
+        return r;
+    };
+
+    TempJournal journal("retry");
+    SweepPolicy policy;
+    policy.retries = 3;
+    policy.backoffBaseSeconds = 0.001;
+    policy.backoffCapSeconds = 0.01;
+    policy.journalPath = journal.path();
+    SweepRunner runner(1);
+    auto out = runner.run({job}, policy);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, RunStatus::Done);
+    EXPECT_EQ(out[0].attempts, 3u);
+    EXPECT_EQ(flaky->load(), 3u);
+
+    // Journal: one header + one record per attempt.
+    JsonlReadResult rec = readJsonl(journal.path());
+    ASSERT_TRUE(rec.ok()) << rec.error;
+    ASSERT_EQ(rec.records.size(), 4u);
+
+    // Retries exhausted: final status is the last failure.
+    auto exhausted = std::make_shared<std::atomic<uint32_t>>(0);
+    SweepJob hopeless = job;
+    hopeless.runner = [exhausted](const MachineConfig &cfg,
+                                  const WorkloadOptions &) {
+        WorkloadResult r;
+        r.workload = "Flaky";
+        r.kind = cfg.kind;
+        r.status = RunStatus::Stalled;
+        ++*exhausted;
+        return r;
+    };
+    SweepPolicy two;
+    two.retries = 1;
+    two.backoffBaseSeconds = 0.001;
+    auto out2 = runner.run({hopeless}, two);
+    EXPECT_EQ(out2[0].status, RunStatus::Stalled);
+    EXPECT_EQ(out2[0].attempts, 2u);
+    EXPECT_EQ(exhausted->load(), 2u);
+}
+
+TEST(SweepResilience, ResumeReplaysJournaledJobsWithoutReExecution)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix(
+        {"Sort", "Filter"}, {MachineKind::Base, MachineKind::ISRF1},
+        opts);
+
+    TempJournal journal("resume");
+    SweepPolicy policy;
+    policy.journalPath = journal.path();
+    SweepRunner runner(2);
+    auto first = runner.run(jobs, policy);
+    ASSERT_EQ(first.size(), 4u);
+    for (const auto &o : first) {
+        EXPECT_EQ(o.status, RunStatus::Done);
+        EXPECT_FALSE(o.fromJournal);
+    }
+
+    policy.resume = true;
+    auto second = runner.run(jobs, policy);
+    ASSERT_EQ(second.size(), 4u);
+    EXPECT_EQ(runner.timing().replayed, 4u);
+    EXPECT_EQ(runner.timing().sumJobSeconds, 0.0)
+        << "replayed jobs must not be re-simulated";
+    for (size_t i = 0; i < 4; i++) {
+        EXPECT_TRUE(second[i].fromJournal) << i;
+        EXPECT_EQ(second[i].resultText, first[i].resultText)
+            << "replayed result bytes must be identical";
+        // The decoded result drives the sweep tables.
+        EXPECT_EQ(second[i].result.cycles, first[i].result.cycles);
+        EXPECT_EQ(second[i].result.correct, first[i].result.correct);
+        EXPECT_EQ(second[i].result.dramWords, first[i].result.dramWords);
+    }
+}
+
+TEST(SweepResilience, PartialJournalRunsOnlyTheMissingJobs)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix(
+        {"Sort"}, {MachineKind::Base, MachineKind::ISRF4}, opts);
+
+    // Journal only the first job, with the true sweep fingerprint.
+    TempJournal journal("partial");
+    SweepPolicy policy;
+    policy.journalPath = journal.path();
+    SweepRunner runner(1);
+    auto full = runner.run(jobs, policy);
+
+    // Rewrite the journal holding header + first job's record only —
+    // as if the sweep was killed after one completion.
+    JsonlReadResult rec = readJsonl(journal.path());
+    ASSERT_TRUE(rec.ok());
+    ASSERT_GE(rec.records.size(), 3u);
+    {
+        JsonlWriter w;
+        ASSERT_TRUE(w.open(journal.path(), false));
+        ASSERT_TRUE(w.append(rec.records[0]));
+        ASSERT_TRUE(w.append(rec.records[1]));
+    }
+
+    policy.resume = true;
+    auto out = runner.run(jobs, policy);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].fromJournal);
+    EXPECT_FALSE(out[1].fromJournal);
+    EXPECT_EQ(runner.timing().replayed, 1u);
+    for (size_t i = 0; i < 2; i++) {
+        EXPECT_EQ(out[i].status, RunStatus::Done) << i;
+        EXPECT_EQ(out[i].resultText, full[i].resultText)
+            << "resumed sweep must serialize byte-identically";
+    }
+
+    // After the resumed run the journal holds all jobs again: a third
+    // run replays everything.
+    runner.run(jobs, policy);
+    EXPECT_EQ(runner.timing().replayed, 2u);
+}
+
+TEST(SweepResilienceDeathTest, StaleJournalIsRejectedNotMerged)
+{
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs =
+        SweepRunner::matrix({"Sort"}, {MachineKind::Base}, opts);
+
+    TempJournal journal("stale");
+    SweepPolicy policy;
+    policy.journalPath = journal.path();
+    SweepRunner runner(1);
+    runner.run(jobs, policy);
+
+    // Drift the matrix: an options change is a different experiment.
+    auto drifted = jobs;
+    drifted[0].opts.seed ^= 1;
+    policy.resume = true;
+    EXPECT_EXIT(runner.run(drifted, policy),
+                ::testing::ExitedWithCode(1), "stale");
+}
+
+TEST(SweepResilience, FingerprintSeparatesExperiments)
+{
+    WorkloadOptions opts;
+    auto base =
+        SweepRunner::matrix({"Sort"}, {MachineKind::Base}, opts)[0];
+    EXPECT_EQ(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(base))
+        << "fingerprints must be deterministic";
+
+    SweepJob other = base;
+    other.workload = "Filter";
+    EXPECT_NE(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(other));
+
+    other = base;
+    other.cfg.seed++;
+    EXPECT_NE(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(other));
+
+    other = base;
+    other.opts.repeats++;
+    EXPECT_NE(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(other));
+
+    other = base;
+    other.cfg.faults.enabled = true;
+    EXPECT_NE(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(other));
+
+    // A custom runner cannot be attested by name: it must not collide
+    // with the registry job of the same (workload, cfg, opts).
+    other = base;
+    other.runner = hangRunner;
+    EXPECT_NE(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(other));
+
+    // Observability-only knobs do NOT change the fingerprint: a
+    // journal written under dense resumes under skip, traced or not.
+    other = base;
+    other.cfg.engineMode = EngineMode::Skip;
+    other.cfg.traceSpec = "all";
+    other.cfg.traceCapacity = 4096;
+    EXPECT_EQ(SweepRunner::fingerprint(base),
+              SweepRunner::fingerprint(other));
+}
+
+TEST(SweepResilience, LoadJournalDiagnosesBadFiles)
+{
+    // Missing file.
+    auto load =
+        SweepRunner::loadJournal(::testing::TempDir() + "no.jsonl");
+    EXPECT_FALSE(load.ok);
+
+    // Valid JSONL but not a journal (no header).
+    TempJournal journal("badhead");
+    {
+        JsonlWriter w;
+        ASSERT_TRUE(w.open(journal.path(), false));
+        ASSERT_TRUE(w.append("{\"not\":\"a header\"}"));
+    }
+    load = SweepRunner::loadJournal(journal.path());
+    EXPECT_FALSE(load.ok);
+    EXPECT_NE(load.error.find("header"), std::string::npos)
+        << load.error;
+}
+
+TEST(SweepResilience, ReplayPolicyReRunsWallClockDependentStatuses)
+{
+    EXPECT_TRUE(SweepRunner::replayable(RunStatus::Done));
+    EXPECT_TRUE(SweepRunner::replayable(RunStatus::Stalled));
+    EXPECT_TRUE(SweepRunner::replayable(RunStatus::Failed));
+    EXPECT_FALSE(SweepRunner::replayable(RunStatus::TimedOut));
+    EXPECT_FALSE(SweepRunner::replayable(RunStatus::Cancelled));
 }
 
 TEST(EnvSnapshot, ParseU64RejectsGarbage)

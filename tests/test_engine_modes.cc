@@ -301,6 +301,135 @@ TEST(EngineClear, UnregistersComponentsAndRewindsClock)
 }
 
 // ----------------------------------------------------------------------
+// Cooperative cancellation / deadline (identical across engine modes)
+// ----------------------------------------------------------------------
+
+TEST(EngineCancel, PreCancelledTokenStopsBeforeTheFirstStepInBothModes)
+{
+    // Cancellation is observed at cycle boundaries only; a token that
+    // is already tripped must stop the run at cycle 0 with identical
+    // observables in dense and skip mode.
+    for (EngineMode mode : {EngineMode::Dense, EngineMode::Skip}) {
+        Engine e;
+        e.setMode(mode);
+        TickCounter c;
+        e.add(&c);
+        CancelToken token;
+        token.cancel();
+        e.setCancel(&token);
+        RunResult r = e.runUntil([] { return false; }, 1000);
+        EXPECT_EQ(r.status, RunStatus::Cancelled)
+            << engineModeName(mode);
+        EXPECT_EQ(r.cycles, 0u) << engineModeName(mode);
+        EXPECT_EQ(c.ticks, 0u) << engineModeName(mode);
+        EXPECT_EQ(e.now(), 0u) << engineModeName(mode);
+    }
+}
+
+TEST(EngineCancel, ExpiredDeadlineReportsTimedOutInBothModes)
+{
+    for (EngineMode mode : {EngineMode::Dense, EngineMode::Skip}) {
+        Engine e;
+        e.setMode(mode);
+        TickCounter c;
+        e.add(&c);
+        CancelToken token;
+        token.setTimeout(1e-9);  // expires immediately
+        e.setCancel(&token);
+        RunResult r = e.runUntil([] { return false; }, 1000);
+        EXPECT_EQ(r.status, RunStatus::TimedOut)
+            << engineModeName(mode);
+        EXPECT_EQ(r.cycles, 0u) << engineModeName(mode);
+    }
+}
+
+TEST(EngineCancel, CancellationWinsOverDeadline)
+{
+    Engine e;
+    TickCounter c;
+    e.add(&c);
+    CancelToken token;
+    token.cancel();
+    token.setTimeout(1e-9);
+    e.setCancel(&token);
+    EXPECT_EQ(e.runUntil([] { return false; }, 10).status,
+              RunStatus::Cancelled);
+}
+
+TEST(EngineCancel, FinishedRunIsNeverReportedCancelled)
+{
+    // The predicate is checked before the token: a run that is already
+    // done must return Done even under a tripped token.
+    for (EngineMode mode : {EngineMode::Dense, EngineMode::Skip}) {
+        Engine e;
+        e.setMode(mode);
+        TickCounter c;
+        e.add(&c);
+        CancelToken token;
+        token.cancel();
+        e.setCancel(&token);
+        RunResult r = e.runUntil([] { return true; }, 1000);
+        EXPECT_EQ(r.status, RunStatus::Done) << engineModeName(mode);
+    }
+}
+
+TEST(EngineCancel, UntrippedTokenDoesNotPerturbResults)
+{
+    // A workload run under a generous (never-expiring) deadline must
+    // be byte-identical to one run with no token at all, in both
+    // modes — the resilience layer is invisible to healthy runs.
+    WorkloadOptions plain;
+    plain.repeats = 1;
+    for (EngineMode mode : {EngineMode::Dense, EngineMode::Skip}) {
+        MachineConfig cfg = MachineConfig::make(MachineKind::ISRF4);
+        cfg.engineMode = mode;
+        WorkloadResult bare = runWorkload("Sort", cfg, plain);
+
+        CancelToken token;
+        token.setTimeout(3600.0);
+        WorkloadOptions guarded = plain;
+        guarded.cancel = &token;
+        WorkloadResult watched = runWorkload("Sort", cfg, guarded);
+
+        EXPECT_TRUE(watched.correct) << engineModeName(mode);
+        EXPECT_EQ(resultJson(bare), resultJson(watched))
+            << engineModeName(mode);
+    }
+}
+
+TEST(EngineCancel, ChainedTokenPropagatesParentCancel)
+{
+    CancelToken parent, child;
+    child.chainTo(&parent);
+    EXPECT_FALSE(child.cancelRequested());
+    parent.cancel();
+    EXPECT_TRUE(child.cancelRequested());
+
+    Engine e;
+    TickCounter c;
+    e.add(&c);
+    e.setCancel(&child);
+    EXPECT_EQ(e.runUntil([] { return false; }, 10).status,
+              RunStatus::Cancelled);
+}
+
+TEST(EngineCancel, DetachingTheTokenRestoresPlainRuns)
+{
+    Engine e;
+    TickCounter c;
+    e.add(&c);
+    CancelToken token;
+    token.cancel();
+    e.setCancel(&token);
+    EXPECT_EQ(e.runUntil([] { return false; }, 10).status,
+              RunStatus::Cancelled);
+    e.setCancel(nullptr);
+    EXPECT_EQ(e.runUntil([] { return false; }, 10).status,
+              RunStatus::Limit);
+    EXPECT_EQ(c.ticks, 10u);
+}
+
+// ----------------------------------------------------------------------
 // Machine re-initialization (the bug this PR fixes)
 // ----------------------------------------------------------------------
 

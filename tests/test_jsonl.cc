@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the crash-safe JSONL journal layer (util/jsonl.h): the
+ * fsync'd writer, the tolerant reader's torn-final-line recovery (the
+ * property the sweep journal's crash-safety rests on), and the
+ * JsonLineView field extractor used to replay journal records.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/jsonl.h"
+
+namespace isrf {
+namespace {
+
+/** Temp file path removed on scope exit. */
+class TempFile
+{
+  public:
+    explicit TempFile(const char *tag)
+    {
+        path_ = ::testing::TempDir() + "isrf_jsonl_" + tag + "_" +
+            std::to_string(::getpid()) + ".jsonl";
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+bool
+writeRaw(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+TEST(JsonlWriter, RoundTripsRecords)
+{
+    TempFile tmp("roundtrip");
+    std::vector<std::string> records = {
+        "{\"a\":1}",
+        "{\"b\":\"two\",\"nested\":{\"x\":[1,2,3]}}",
+        "{\"c\":true,\"d\":null}",
+    };
+    {
+        JsonlWriter w;
+        ASSERT_TRUE(w.open(tmp.path(), /*append=*/false));
+        for (const auto &r : records)
+            EXPECT_TRUE(w.append(r));
+    }
+    JsonlReadResult res = readJsonl(tmp.path());
+    ASSERT_TRUE(res.ok()) << res.error;
+    EXPECT_FALSE(res.tornFinalLine);
+    EXPECT_EQ(res.records, records);
+}
+
+TEST(JsonlWriter, AppendModePreservesExistingRecords)
+{
+    TempFile tmp("append");
+    {
+        JsonlWriter w;
+        ASSERT_TRUE(w.open(tmp.path(), false));
+        ASSERT_TRUE(w.append("{\"first\":1}"));
+    }
+    {
+        JsonlWriter w;
+        ASSERT_TRUE(w.open(tmp.path(), /*append=*/true));
+        ASSERT_TRUE(w.append("{\"second\":2}"));
+    }
+    JsonlReadResult res = readJsonl(tmp.path());
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res.records.size(), 2u);
+    EXPECT_EQ(res.records[0], "{\"first\":1}");
+    EXPECT_EQ(res.records[1], "{\"second\":2}");
+}
+
+TEST(JsonlWriter, RefusesInvalidAndMultilineRecords)
+{
+    TempFile tmp("refuse");
+    JsonlWriter w;
+    ASSERT_TRUE(w.open(tmp.path(), false));
+    EXPECT_FALSE(w.append("{\"unterminated\":"));
+    EXPECT_FALSE(w.append("{\"a\":1}\n{\"b\":2}"));
+    EXPECT_TRUE(w.append("{\"ok\":1}"));
+    w.close();
+    JsonlReadResult res = readJsonl(tmp.path());
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res.records.size(), 1u);
+    EXPECT_EQ(res.records[0], "{\"ok\":1}");
+}
+
+TEST(JsonlReader, MissingFileIsAnError)
+{
+    JsonlReadResult res =
+        readJsonl(::testing::TempDir() + "isrf_no_such_file.jsonl");
+    EXPECT_FALSE(res.ok());
+    EXPECT_TRUE(res.records.empty());
+}
+
+/**
+ * The crash-safety property: truncate a journal at EVERY byte offset
+ * (simulating a SIGKILL mid-append) and check the reader recovers
+ * exactly the records whose bytes fully survived, flags any torn
+ * tail, and never errors.
+ */
+TEST(JsonlReader, RecoversAllCompleteRecordsAtEveryTruncationOffset)
+{
+    std::vector<std::string> records = {
+        "{\"seq\":0,\"payload\":\"alpha\"}",
+        "{\"seq\":1,\"payload\":{\"deep\":[1,2,{\"k\":\"v\"}]}}",
+        "{\"seq\":2,\"payload\":\"with \\\"escapes\\\" and {braces}\"}",
+        "{\"seq\":3}",
+    };
+    std::string full;
+    // End offset (exclusive, incl. newline) of each record in `full`.
+    std::vector<size_t> lineEnd;
+    // Offset after which record i's body is fully present.
+    std::vector<size_t> bodyEnd;
+    for (const auto &r : records) {
+        full += r;
+        bodyEnd.push_back(full.size());
+        full += '\n';
+        lineEnd.push_back(full.size());
+    }
+
+    TempFile tmp("trunc");
+    for (size_t cut = 0; cut <= full.size(); cut++) {
+        ASSERT_TRUE(writeRaw(tmp.path(), full.substr(0, cut)));
+        JsonlReadResult res = readJsonl(tmp.path());
+        ASSERT_TRUE(res.ok())
+            << "cut at " << cut << ": " << res.error;
+        // A record survives once its full body is on disk — the
+        // trailing newline alone may be torn off.
+        size_t expect = 0;
+        while (expect < records.size() && bodyEnd[expect] <= cut)
+            expect++;
+        ASSERT_EQ(res.records.size(), expect) << "cut at " << cut;
+        for (size_t i = 0; i < expect; i++)
+            EXPECT_EQ(res.records[i], records[i])
+                << "cut at " << cut;
+        // Torn iff the cut landed strictly inside a record body.
+        bool insideBody = expect < records.size() &&
+            cut > (expect == 0 ? size_t{0} : lineEnd[expect - 1]);
+        EXPECT_EQ(res.tornFinalLine, insideBody) << "cut at " << cut;
+    }
+}
+
+TEST(JsonlReader, CorruptInteriorLineIsAnErrorNotARecovery)
+{
+    TempFile tmp("corrupt");
+    ASSERT_TRUE(writeRaw(tmp.path(),
+                         "{\"a\":1}\n{\"b\":oops}\n{\"c\":3}\n"));
+    JsonlReadResult res = readJsonl(tmp.path());
+    EXPECT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("line 2"), std::string::npos)
+        << res.error;
+    EXPECT_TRUE(res.records.empty())
+        << "corruption must not yield partial data";
+}
+
+TEST(JsonlReader, BlankLinesAreIgnored)
+{
+    TempFile tmp("blank");
+    ASSERT_TRUE(writeRaw(tmp.path(), "{\"a\":1}\n\n{\"b\":2}\n"));
+    JsonlReadResult res = readJsonl(tmp.path());
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res.records.size(), 2u);
+}
+
+TEST(JsonLineView, ExtractsTopLevelFields)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", std::string("a \"quoted\" name\n"));
+    w.field("count", uint64_t{18446744073709551615ull});
+    w.field("ratio", 2.5);
+    w.field("flag", true);
+    w.field("off", false);
+    w.key("nested").beginObject();
+    w.field("x", 1);
+    w.endObject();
+    w.key("list").beginArray();
+    w.value(1).value(2);
+    w.endArray();
+    w.endObject();
+
+    JsonLineView v(w.str());
+    ASSERT_TRUE(v.valid());
+
+    std::string s;
+    EXPECT_TRUE(v.getString("name", s));
+    EXPECT_EQ(s, "a \"quoted\" name\n");
+
+    uint64_t u = 0;
+    EXPECT_TRUE(v.getU64("count", u));
+    EXPECT_EQ(u, 18446744073709551615ull);
+
+    double d = 0;
+    EXPECT_TRUE(v.getDouble("ratio", d));
+    EXPECT_DOUBLE_EQ(d, 2.5);
+
+    bool b = false;
+    EXPECT_TRUE(v.getBool("flag", b));
+    EXPECT_TRUE(b);
+    EXPECT_TRUE(v.getBool("off", b));
+    EXPECT_FALSE(b);
+
+    std::string raw;
+    EXPECT_TRUE(v.getRaw("nested", raw));
+    EXPECT_EQ(raw, "{\"x\":1}");
+    EXPECT_TRUE(v.getRaw("list", raw));
+    EXPECT_EQ(raw, "[1,2]");
+
+    EXPECT_FALSE(v.getString("absent", s));
+    EXPECT_FALSE(v.getU64("name", u)) << "type mismatch must fail";
+
+    auto keys = v.keys();
+    EXPECT_EQ(keys.size(), 7u);
+}
+
+TEST(JsonLineView, NullNumberReadsAsNaN)
+{
+    // The JsonWriter maps NaN/Inf to null; the reader maps it back.
+    JsonLineView v("{\"x\":null}");
+    ASSERT_TRUE(v.valid());
+    double d = 0;
+    EXPECT_TRUE(v.getDouble("x", d));
+    EXPECT_TRUE(std::isnan(d));
+}
+
+TEST(JsonLineView, RejectsNonObjects)
+{
+    EXPECT_FALSE(JsonLineView("[1,2,3]").valid());
+    EXPECT_FALSE(JsonLineView("{\"a\":").valid());
+    EXPECT_FALSE(JsonLineView("").valid());
+}
+
+TEST(JsonUnescape, DecodesStandardEscapes)
+{
+    EXPECT_EQ(jsonUnescape("plain"), "plain");
+    EXPECT_EQ(jsonUnescape("a\\\"b\\\\c\\/d"), "a\"b\\c/d");
+    EXPECT_EQ(jsonUnescape("\\b\\f\\n\\r\\t"), "\b\f\n\r\t");
+    EXPECT_EQ(jsonUnescape("\\u0041\\u00e9"), "A\xc3\xa9");
+    EXPECT_EQ(jsonUnescape("\\u20ac"), "\xe2\x82\xac");
+}
+
+} // namespace
+} // namespace isrf

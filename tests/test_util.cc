@@ -230,6 +230,36 @@ TEST(JsonWriter, NonFiniteDoublesBecomeNull)
     EXPECT_TRUE(jsonValid(s));
 }
 
+TEST(JsonWriter, NonFiniteDoublesBecomeNullEverywhere)
+{
+    // The null mapping must hold in every value position — array
+    // elements, nested objects, bare value() — not just field(); a raw
+    // "nan" or "inf" token anywhere makes the whole document invalid
+    // JSON, which a journal reader would then reject as corrupt.
+    JsonWriter w;
+    w.beginObject();
+    w.key("arr").beginArray();
+    w.value(std::nan(""));
+    w.value(-std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.endArray();
+    w.key("nested").beginObject();
+    w.field("ninf", -std::numeric_limits<double>::infinity());
+    w.endObject();
+    w.endObject();
+    std::string s = w.str();
+    EXPECT_EQ(s, "{\"arr\":[null,null,1.5],\"nested\":{\"ninf\":null}}");
+    EXPECT_TRUE(jsonValid(s));
+    // Denormals and extremes stay finite numbers, not null.
+    JsonWriter w2;
+    w2.beginObject();
+    w2.field("denorm", std::numeric_limits<double>::denorm_min());
+    w2.field("max", std::numeric_limits<double>::max());
+    w2.endObject();
+    EXPECT_TRUE(jsonValid(w2.str()));
+    EXPECT_EQ(w2.str().find("null"), std::string::npos);
+}
+
 /**
  * Seeded writer->validator fuzz: every document the streaming writer
  * can emit (random nesting, keys, escapes, numeric extremes) must pass
