@@ -8,7 +8,10 @@
  * parallel speedup (sum of job times / sweep wall time). The --json
  * results report contains *only* simulation results — no timing — so
  * it is byte-identical for any --jobs value; timing goes to the
- * separate --timing-json report.
+ * separate --timing-json report, and --bench-json writes the
+ * isrf-perf-record-v1 perf record (git SHA, host metadata, per-job
+ * wall times, sim-cycles/second, aggregated ISRF_PROFILE profile)
+ * consumed by tools/perf_diff and CI's perf job (DESIGN.md §13).
  *
  * Resilience (DESIGN.md §Sweep resilience): with --journal each
  * finished job is durably appended to a JSONL journal; --resume
@@ -136,22 +139,18 @@ runHang(const MachineConfig &cfg, const WorkloadOptions &opts)
 int
 main(int argc, char **argv)
 {
-    // Peel off the sweep-only flags before the shared parser sees them.
+    // Sweep-only flags, handled by the shared parser (BenchFlag hook).
     std::string timingPath;
+    std::string benchJsonPath;
     bool withHang = false;
-    std::vector<char *> rest;
-    rest.push_back(argv[0]);
-    for (int i = 1; i < argc; i++) {
-        if (std::string(argv[i]) == "--timing-json" && i + 1 < argc) {
-            timingPath = argv[++i];
-        } else if (std::string(argv[i]) == "--with-hang") {
-            withHang = true;
-        } else {
-            rest.push_back(argv[i]);
-        }
-    }
-    BenchArgs args = parseBenchArgs(static_cast<int>(rest.size()),
-                                    rest.data());
+    BenchArgs args = parseBenchArgs(argc, argv, {
+        {"--timing-json", true,
+         [&](const std::string &v) { timingPath = v; }},
+        {"--bench-json", true,
+         [&](const std::string &v) { benchJsonPath = v; }},
+        {"--with-hang", false,
+         [&](const std::string &) { withHang = true; }},
+    });
     heading("Parallel full-matrix sweep (8 benchmarks x 4 configs)",
             "driver for Figures 11-13 data; results are --jobs "
             "invariant");
@@ -219,6 +218,10 @@ main(int argc, char **argv)
         writeSweepJson(args.jsonPath, outcomes);
     if (!timingPath.empty())
         writeTimingJson(timingPath, runner, outcomes);
+    if (!benchJsonPath.empty())
+        writeBenchPerfJson(benchJsonPath, "sweep", args,
+                           engineModeName(jobs[0].cfg.engineMode),
+                           runner, outcomes);
     BenchArgs traceOnly = args;
     traceOnly.jsonPath.clear();
     finishBench(traceOnly);

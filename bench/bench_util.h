@@ -11,12 +11,16 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "driver/perf_diff.h"
 #include "driver/sweep_runner.h"
+#include "sim/profiler.h"
 #include "sim/trace.h"
 #include "util/env.h"
 #include "util/json.h"
@@ -198,10 +202,11 @@ class ResultCache
 /** Common command-line options shared by every bench binary. */
 struct BenchArgs
 {
-    std::string jsonPath;   ///< --json: machine-readable results
-    std::string tracePath;  ///< --trace: Chrome trace-event JSON
-    unsigned jobs = 1;      ///< --jobs: sweep thread-pool width
-    bool quiet = false;     ///< --quiet: suppress progress chatter
+    std::string jsonPath;    ///< --json: machine-readable results
+    std::string tracePath;   ///< --trace: Chrome trace-event JSON
+    std::string profilePath; ///< --profile: host-time profile dump
+    unsigned jobs = 1;       ///< --jobs: sweep thread-pool width
+    bool quiet = false;      ///< --quiet: suppress progress chatter
     // Sweep resilience (bench_sweep; DESIGN.md §Sweep resilience):
     std::string journalPath;   ///< --journal: per-job JSONL journal
     bool resume = false;       ///< --resume: replay journaled jobs
@@ -210,10 +215,26 @@ struct BenchArgs
 };
 
 /**
+ * A binary-specific flag handled inside parseBenchArgs, so binaries
+ * never hand-peel argv (which silently diverges from the shared
+ * parser's error handling and --help).
+ */
+struct BenchFlag
+{
+    std::string name;        ///< e.g. "--timing-json"
+    bool takesValue = false;
+    /** Called with the value (or "" for valueless flags). */
+    std::function<void(const std::string &)> apply;
+};
+
+/**
  * Parse the standard bench options:
  *   --json <path>            write run results as JSON
  *   --trace <path>           write a Chrome/Perfetto trace
  *   --trace-channels <spec>  restrict tracing (ISRF_TRACE syntax)
+ *   --profile <path>         write a host-time profile (Chrome trace /
+ *                            speedscope); enables ISRF_PROFILE=on
+ *                            unless the environment already set it
  *   --faults <spec>          enable fault injection (ISRF_FAULTS syntax)
  *   --jobs <n>               run independent simulations n-wide
  *   --quiet                  suppress progress output
@@ -222,12 +243,14 @@ struct BenchArgs
  *   --timeout-s <secs>       per-attempt wall-clock deadline
  *   --retries <n>            retry TimedOut/Stalled jobs up to n times
  * --trace enables all channels unless a channel spec (or ISRF_TRACE)
- * already selected some. --faults/--trace-channels export their specs
- * into the environment so every MachineConfig::fromEnv() snapshot
- * taken afterwards picks them up. Exits on unknown options.
+ * already selected some. --faults/--trace-channels/--profile export
+ * their specs into the environment so every MachineConfig::fromEnv()
+ * snapshot taken afterwards picks them up. `extra` adds binary-specific
+ * flags to the same parse (and to --help). Exits on unknown options.
  */
 inline BenchArgs
-parseBenchArgs(int argc, char **argv)
+parseBenchArgs(int argc, char **argv,
+               const std::vector<BenchFlag> &extra = {})
 {
     BenchArgs args;
     // Force construction so ISRF_TRACE is parsed before any on() check.
@@ -241,10 +264,18 @@ parseBenchArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; i++) {
         std::string s = argv[i];
-        if (s == "--json") {
+        const BenchFlag *ex = nullptr;
+        for (const BenchFlag &f : extra)
+            if (f.name == s)
+                ex = &f;
+        if (ex) {
+            ex->apply(ex->takesValue ? next(i, ex->name.c_str()) : "");
+        } else if (s == "--json") {
             args.jsonPath = next(i, "--json");
         } else if (s == "--trace") {
             args.tracePath = next(i, "--trace");
+        } else if (s == "--profile") {
+            args.profilePath = next(i, "--profile");
         } else if (s == "--trace-channels") {
             std::string spec = next(i, "--trace-channels");
             // Machines snapshot ISRF_TRACE via fromEnv(); the global
@@ -292,12 +323,20 @@ parseBenchArgs(int argc, char **argv)
             args.quiet = true;
             quietFlag() = true;
         } else if (s == "--help" || s == "-h") {
+            std::string extras;
+            for (const BenchFlag &f : extra) {
+                extras += " [" + f.name;
+                if (f.takesValue)
+                    extras += " <v>";
+                extras += "]";
+            }
             std::printf(
                 "usage: %s [--json <path>] [--trace <path>] "
-                "[--trace-channels <spec>] [--faults <spec>] "
+                "[--trace-channels <spec>] [--profile <path>] "
+                "[--faults <spec>] "
                 "[--jobs <n>] [--quiet] [--journal <path>] "
-                "[--resume] [--timeout-s <secs>] [--retries <n>]\n",
-                argv[0]);
+                "[--resume] [--timeout-s <secs>] [--retries <n>]%s\n",
+                argv[0], extras.c_str());
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s' (try --help)\n",
@@ -313,6 +352,13 @@ parseBenchArgs(int argc, char **argv)
         setenv("ISRF_TRACE", "all", 1);
         Tracer::instance().enableChannels("all");
     }
+    // --profile turns profiling on unless ISRF_PROFILE already chose a
+    // setting (e.g. a custom stride, or an explicit off to measure the
+    // dump path alone). Exported before the shim constructs so its
+    // one-time env parse sees the final value.
+    if (!args.profilePath.empty() && envStr("ISRF_PROFILE").empty())
+        setenv("ISRF_PROFILE", "on", 1);
+    Profiler::instance();
     return args;
 }
 
@@ -337,14 +383,22 @@ writeBenchJson(const std::string &path,
 }
 
 /**
- * Write the --json/--trace outputs for a binary without a ResultCache
- * (its --json report is an empty results object).
+ * Write the --json/--trace/--profile outputs for a binary without a
+ * ResultCache (its --json report is an empty results object).
  */
 inline void
 finishBench(const BenchArgs &args)
 {
     if (!args.jsonPath.empty())
         writeBenchJson(args.jsonPath, {});
+    if (!args.profilePath.empty()) {
+        if (Profiler::instance().writeChromeTrace(args.profilePath))
+            std::fprintf(stderr, "wrote host profile to %s\n",
+                         args.profilePath.c_str());
+        else
+            std::fprintf(stderr, "ERROR: could not write profile to "
+                         "%s\n", args.profilePath.c_str());
+    }
     if (args.tracePath.empty())
         return;
     if (Tracer::instance().writeChromeJson(args.tracePath)) {
@@ -365,6 +419,113 @@ finishBench(const BenchArgs &args, const ResultCache &cache)
     BenchArgs traceOnly = args;
     traceOnly.jsonPath.clear();
     finishBench(traceOnly);
+}
+
+// ----------------------------------------------------------------------
+// Perf records (BENCH_*.json, schema isrf-perf-record-v1)
+// ----------------------------------------------------------------------
+
+/**
+ * Commit being measured: GITHUB_SHA when CI exports it, else the local
+ * `git rev-parse HEAD`, else "unknown". Best-effort metadata only —
+ * perf records stay valid outside a checkout.
+ */
+inline std::string
+gitSha()
+{
+    std::string sha = envStr("GITHUB_SHA");
+    if (!sha.empty())
+        return sha;
+    std::FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+    if (p) {
+        char buf[128] = {0};
+        if (std::fgets(buf, sizeof buf, p))
+            sha = buf;
+        ::pclose(p);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+/**
+ * Write one perf record (schema isrf-perf-record-v1) for a finished
+ * sweep: host metadata, sweep totals (wall time, parallel speedup,
+ * simulated cycles per host second), per-job wall times, and — when
+ * profiling is on — the aggregate host-time profile. This is the
+ * BENCH_*.json format tools/perf_diff compares.
+ */
+inline void
+writeBenchPerfJson(const std::string &path, const std::string &bench,
+                   const BenchArgs &args, const std::string &engineMode,
+                   const SweepRunner &runner,
+                   const std::vector<SweepOutcome> &outcomes)
+{
+    const SweepTiming &t = runner.timing();
+    uint64_t simCycles = 0, freshCycles = 0;
+    size_t failed = 0;
+    for (const auto &o : outcomes) {
+        simCycles += o.result.cycles;
+        if (!o.fromJournal)
+            freshCycles += o.result.cycles;
+        if (o.status != RunStatus::Done)
+            failed++;
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", std::string(kPerfRecordSchema));
+    w.field("bench", bench);
+    w.field("git_sha", gitSha());
+    w.key("host").beginObject();
+    w.field("cpus", static_cast<uint64_t>(
+        std::thread::hardware_concurrency()));
+    w.field("jobs", static_cast<uint64_t>(args.jobs));
+    w.field("engine_mode", engineMode);
+    w.endObject();
+    w.key("totals").beginObject();
+    w.field("wall_seconds", t.wallSeconds);
+    w.field("sum_job_seconds", t.sumJobSeconds);
+    w.field("speedup", t.speedup());
+    w.field("jobs", static_cast<uint64_t>(outcomes.size()));
+    w.field("failed", static_cast<uint64_t>(failed));
+    w.field("replayed", static_cast<uint64_t>(t.replayed));
+    w.field("sim_cycles", simCycles);
+    // Throughput over *executed* work only: replayed jobs contribute
+    // neither cycles nor seconds, so a resumed sweep's rate is
+    // comparable to a fresh one's.
+    w.field("sim_cycles_per_second",
+            t.sumJobSeconds > 0.0
+                ? static_cast<double>(freshCycles) / t.sumJobSeconds
+                : 0.0);
+    w.endObject();
+    w.key("jobs").beginArray();
+    for (const auto &o : outcomes) {
+        w.beginObject();
+        w.field("workload", o.workload);
+        w.field("machine", std::string(machineKindName(o.kind)));
+        w.field("status", std::string(runStatusName(o.status)));
+        w.field("wall_seconds", o.wallSeconds);
+        w.field("sim_cycles", o.result.cycles);
+        w.field("sim_cycles_per_second",
+                o.wallSeconds > 0.0
+                    ? static_cast<double>(o.result.cycles) /
+                          o.wallSeconds
+                    : 0.0);
+        w.field("replayed", o.fromJournal);
+        w.endObject();
+    }
+    w.endArray();
+    if (Profiler::instance().enabled() &&
+        Profiler::instance().hasData()) {
+        w.key("profile");
+        Profiler::instance().reportJson(w);
+    }
+    w.endObject();
+    if (writeTextFile(path, w.str()))
+        std::fprintf(stderr, "wrote perf record to %s\n", path.c_str());
+    else
+        std::fprintf(stderr, "ERROR: could not write %s\n",
+                     path.c_str());
 }
 
 inline void

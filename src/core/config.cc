@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/profiler.h"
 #include "util/env.h"
 #include "util/log.h"
 
@@ -75,6 +76,8 @@ MachineConfig::fromEnv()
                                  engineEnv.c_str(),
                                  engineModeName(engineMode)));
     }
+    Profiler::parseSpec(envStr("ISRF_PROFILE"), profileEnabled,
+                        profileStride, &errs);
     traceCapacity = envU64("ISRF_TRACE_CAPACITY", traceCapacity, &errs);
     if (traceCapacity == 0) {
         errs.push_back(strprintf("ISRF_TRACE_CAPACITY=0 is invalid; "

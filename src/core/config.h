@@ -88,6 +88,18 @@ struct MachineConfig
     /** Trace ring capacity in events (ISRF_TRACE_CAPACITY). */
     uint64_t traceCapacity = 1 << 16;
 
+    /**
+     * Host-side self-profiling (sim/profiler.h): attribute the
+     * simulator's own wall-clock time to phases. Pure observability —
+     * a profiled run's results are byte-identical to an unprofiled
+     * one. fromEnv() overlays ISRF_PROFILE (0|off|1|on|on:<stride>)
+     * here.
+     */
+    bool profileEnabled = false;
+
+    /** Hot-phase sampling stride: time 1 of every N scope entries. */
+    uint64_t profileStride = 64;
+
     std::string name() const { return machineKindName(kind); }
 
     /** Factory for each Table 2 row. Never reads the environment. */
@@ -99,7 +111,8 @@ struct MachineConfig
 
     /**
      * Overlay the ISRF_* environment overrides (ISRF_FAULTS,
-     * ISRF_SAMPLE, ISRF_TRACE, ISRF_TRACE_CAPACITY, ISRF_ENGINE)
+     * ISRF_SAMPLE, ISRF_TRACE, ISRF_TRACE_CAPACITY, ISRF_ENGINE,
+     * ISRF_PROFILE)
      * onto this config
      * and return it. This is the ONE place the environment is
      * consulted: Machine::init reads only the config it is handed, so

@@ -36,6 +36,8 @@ Machine::init(const MachineConfig &cfg)
         tracer_.clear();
     }
     engine_.setTracer(&tracer_, cfg_.name());
+    profiler_.configure(cfg_.profileEnabled, cfg_.profileStride);
+    profiler_.reset();
     dataNet_.init(cfg.srf.lanes, 1, 1, cfg.srf.netTopology);
     srf_.init(cfg.srf, cfg.srfMode, &dataNet_, &tracer_);
     mem_.init(cfg.mem, cfg.dram, cfg.cache, &srf_, &tracer_);
@@ -243,6 +245,7 @@ Machine::finishKernelIfDone(Cycle now)
 Cycle
 Machine::nextEvent(Cycle now)
 {
+    Profiler::Scope prof(profiler_, Profiler::SkipJump);
     // Comm-occupancy draws the RNG per lane per cycle; skipping cycles
     // would desync the stream from dense mode.
     if (cfg_.commOccupancy > 0)
@@ -265,6 +268,7 @@ Machine::nextEvent(Cycle now)
 void
 Machine::skipTo(Cycle from, Cycle to)
 {
+    Profiler::Scope prof(profiler_, Profiler::SkipJump);
     uint64_t n = to - from;
     if (active_) {
         // Mirror the dense per-cluster classification into the
@@ -293,6 +297,7 @@ Machine::skipTo(Cycle from, Cycle to)
 void
 Machine::tick(Cycle now)
 {
+    Profiler::Scope prof(profiler_, Profiler::MachineTick);
     dataNet_.newCycle();
     srf_.beginCycle(now);
 
@@ -308,10 +313,19 @@ Machine::tick(Cycle now)
                 dataNet_.claimSource(l);
     }
 
-    mem_.tick(now);
-    for (auto &c : clusters_)
-        c.tick(now);
-    srf_.endCycle(now);
+    {
+        Profiler::Scope memProf(profiler_, Profiler::MemTick);
+        mem_.tick(now);
+    }
+    {
+        Profiler::Scope clProf(profiler_, Profiler::ClusterTick);
+        for (auto &c : clusters_)
+            c.tick(now);
+    }
+    {
+        Profiler::Scope srfProf(profiler_, Profiler::SrfCycle);
+        srf_.endCycle(now);
+    }
 
     // Figure 12 accounting.
     if (active_) {

@@ -21,6 +21,7 @@
 #include "fault/watchdog.h"
 #include "mem/memory_system.h"
 #include "sim/engine.h"
+#include "sim/profiler.h"
 #include "sim/stat_sampler.h"
 #include "sim/trace.h"
 #include "util/random.h"
@@ -86,6 +87,16 @@ class Machine : public Ticked
      */
     Tracer &tracer() { return tracer_; }
     const Tracer &tracer() const { return tracer_; }
+
+    /**
+     * This machine's private host-time profiler (same isolation rule
+     * as the tracer: nothing in this machine touches the global
+     * Profiler::instance()). Configured from cfg.profileEnabled /
+     * cfg.profileStride at init; merged into the global aggregate at
+     * workload harvest.
+     */
+    Profiler &profiler() { return profiler_; }
+    const Profiler &profiler() const { return profiler_; }
 
     /**
      * Schedule a kernel with this machine's separation settings
@@ -196,6 +207,7 @@ class Machine : public Ticked
 
     MachineConfig cfg_;
     Tracer tracer_;
+    Profiler profiler_;
     Engine engine_;
     Crossbar dataNet_;
     Srf srf_;

@@ -126,6 +126,21 @@ machineReport(Machine &m, const ReportOptions &opts)
                 << m.watchdog()->triggeredCycle() << "\n";
         }
     }
+
+    // Host-time profile: present only on profiled machines, so
+    // unprofiled reports are byte-identical with profiling compiled in.
+    if (m.profiler().enabled() && m.profiler().hasData()) {
+        out << "profile (host ns, extrapolated):";
+        for (int p = 0; p < Profiler::kPhaseCount; p++) {
+            auto ph = static_cast<Profiler::Phase>(p);
+            Profiler::PhaseStats s = m.profiler().phase(ph);
+            if (s.calls == 0)
+                continue;
+            out << strprintf(" %s=%.0f", Profiler::phaseName(ph),
+                             s.estNs());
+        }
+        out << "\n";
+    }
     return out.str();
 }
 
@@ -291,6 +306,12 @@ machineReportJson(Machine &m, const ReportOptions &opts)
             w.endObject();
         }
         w.endArray();
+    }
+
+    // Present only when this machine was profiled (see machineReport).
+    if (m.profiler().enabled() && m.profiler().hasData()) {
+        w.key("profile");
+        m.profiler().reportJson(w);
     }
 
     w.endObject();

@@ -269,6 +269,7 @@ StreamProgram::run(uint64_t maxCycles)
     const Cycle start = machine_.now();
     uint64_t cycles = 0;
     status_ = RunStatus::Done;
+    Profiler::Scope prof(machine_.profiler(), Profiler::Run);
     while (true) {
         updateCompletion();
         if (allDone() && machine_.mem().idle() && !machine_.kernelActive())

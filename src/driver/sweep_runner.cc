@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/profiler.h"
 #include "util/json.h"
 #include "util/jsonl.h"
 #include "util/log.h"
@@ -47,11 +48,41 @@ fnv1a(const std::string &s, uint64_t h = kFnvBasis)
 }
 
 /**
+ * THE fingerprint exclusion list: MachineConfig knobs that observe a
+ * simulation without affecting its results, and therefore must never
+ * enter canonicalJob() below. Any knob listed here can change between
+ * a journal being written and being resumed without invalidating it:
+ *
+ *   engineMode          dense and skip produce byte-identical stats
+ *   traceSpec           event tracing is side-effect-free
+ *   traceCapacity       ring size only bounds what --trace exports
+ *   statSampleInterval  samples read counters, never write state
+ *                       (canonicalJob pins its legacy key to the
+ *                       default 0 — see there)
+ *   profileEnabled      host-time profiling reads only the wall clock
+ *   profileStride       ditto
+ *
+ * Keep this list, canonicalJob(), and the fromEnv() doc comment in
+ * sync; tests assert canonical text is unchanged for non-observability
+ * configs, so growing the list cannot silently invalidate journals.
+ */
+const std::vector<std::string> &
+observabilityKnobList()
+{
+    static const std::vector<std::string> knobs = {
+        "engineMode",        "traceSpec",      "traceCapacity",
+        "statSampleInterval", "profileEnabled", "profileStride",
+    };
+    return knobs;
+}
+
+/**
  * Canonical text dump of every simulation-affecting input of a job.
  * Adding a field here (when the simulator grows one) deliberately
  * invalidates old journals — that is the stale-detection working as
- * intended. Doubles print with %.17g so every distinct value has a
- * distinct canonical form.
+ * intended. Observability-only knobs (observabilityKnobList() above)
+ * must NOT be added. Doubles print with %.17g so every distinct value
+ * has a distinct canonical form.
  */
 std::string
 canonicalJob(const SweepJob &job)
@@ -131,7 +162,12 @@ canonicalJob(const SweepJob &job)
     addU("crossLaneSeparation", c.crossLaneSeparation);
     addU("kernelStartOverhead", c.kernelStartOverhead);
     addD("commOccupancy", c.commOccupancy);
-    addU("statSampleInterval", c.statSampleInterval);
+    // statSampleInterval became an excluded observability knob after
+    // journals containing this key already existed: the key stays, but
+    // pinned to its default so every sampling setting produces the
+    // same canonical text (and pre-existing journals — all written
+    // with the default — resume without a version bump).
+    addU("statSampleInterval", 0);
     addU("seed", c.seed);
 
     const FaultConfig &f = c.faults;
@@ -273,6 +309,18 @@ SweepRunner::fingerprint(const SweepJob &job)
     return fnv1a(canonicalJob(job));
 }
 
+std::string
+SweepRunner::canonicalJobText(const SweepJob &job)
+{
+    return canonicalJob(job);
+}
+
+const std::vector<std::string> &
+SweepRunner::observabilityKnobs()
+{
+    return observabilityKnobList();
+}
+
 uint64_t
 SweepRunner::sweepFingerprint(const std::vector<SweepJob> &jobs)
 {
@@ -409,6 +457,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
     // here keeps worker wall times honest and the first jobs fast.
     workloadRegistry();
     Tracer::instance();
+    Profiler::instance();
 
     std::vector<SweepOutcome> out(jobs.size());
     timing_ = SweepTiming();
@@ -558,9 +607,15 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
             o.status = o.result.status;
             o.attempts = attempt;
             o.wallSeconds += wall;
-            o.resultText = resultJson(o.result);
+            {
+                Profiler::Scope prof(Profiler::instance(),
+                                     Profiler::Report);
+                o.resultText = resultJson(o.result);
+            }
 
             if (journal.isOpen()) {
+                Profiler::Scope prof(Profiler::instance(),
+                                     Profiler::Journal);
                 std::lock_guard<std::mutex> lock(journalMu);
                 journal.append(attemptRecord(fps[idx], o, attempt,
                                              wall));

@@ -184,14 +184,30 @@ class SweepRunner
                                   ProgressFn progress = nullptr);
 
     /**
-     * Deterministic fingerprint of one job: FNV-1a over a canonical
-     * dump of every simulation-affecting field of (workload, config,
-     * options). Observability-only knobs — engineMode (dense and skip
-     * produce byte-identical results), traceSpec, traceCapacity — are
+     * Deterministic fingerprint of one job: FNV-1a over
+     * canonicalJobText() — a canonical dump of every
+     * simulation-affecting field of (workload, config, options).
+     * Observability-only knobs (see observabilityKnobs()) are
      * deliberately excluded so a journal written under ISRF_ENGINE=
-     * dense resumes cleanly under skip and vice versa.
+     * dense resumes cleanly under skip, with tracing, sampling or
+     * profiling toggled, and vice versa.
      */
     static uint64_t fingerprint(const SweepJob &job);
+
+    /**
+     * The canonical text fingerprint() hashes. Exposed so tests can
+     * assert the exact exclusion policy (journal compatibility) rather
+     * than just hash equality.
+     */
+    static std::string canonicalJobText(const SweepJob &job);
+
+    /**
+     * Names of the MachineConfig knobs excluded from fingerprints
+     * because they cannot affect simulation results — the single
+     * authoritative exclusion list (documented at canonicalJob() in
+     * sweep_runner.cc, which enforces it).
+     */
+    static const std::vector<std::string> &observabilityKnobs();
 
     /** Fingerprint of a whole ordered matrix (hash of job hashes). */
     static uint64_t sweepFingerprint(const std::vector<SweepJob> &jobs);

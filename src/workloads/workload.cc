@@ -1,5 +1,6 @@
 #include "workloads/workload.h"
 
+#include "sim/profiler.h"
 #include "util/json.h"
 #include "util/log.h"
 #include "workloads/fft.h"
@@ -57,6 +58,10 @@ harvestResult(WorkloadResult &res, Machine &m, uint64_t cycles)
     // mergeFrom serializes concurrent harvests from sweep workers.
     if (Tracer::instance().on() && m.tracer().size() > 0)
         Tracer::instance().mergeFrom(m.tracer());
+    // Same for the machine's host-time profile (--profile exports the
+    // shim's aggregate). Lock-free: mergeFrom is relaxed-atomic.
+    if (m.profiler().enabled())
+        Profiler::instance().mergeFrom(m.profiler());
     res.kind = m.config().kind;
     res.cycles = cycles;
     res.breakdown = m.breakdown();

@@ -541,13 +541,77 @@ TEST(SweepResilience, FingerprintSeparatesExperiments)
               SweepRunner::fingerprint(other));
 
     // Observability-only knobs do NOT change the fingerprint: a
-    // journal written under dense resumes under skip, traced or not.
+    // journal written under dense resumes under skip, traced or not,
+    // profiled or not, sampled or not.
     other = base;
     other.cfg.engineMode = EngineMode::Skip;
     other.cfg.traceSpec = "all";
     other.cfg.traceCapacity = 4096;
+    other.cfg.profileEnabled = true;
+    other.cfg.profileStride = 8;
+    other.cfg.statSampleInterval = 100;
     EXPECT_EQ(SweepRunner::fingerprint(base),
               SweepRunner::fingerprint(other));
+}
+
+TEST(SweepResilience, CanonicalTextExcludesObservabilityKnobs)
+{
+    WorkloadOptions opts;
+    auto job =
+        SweepRunner::matrix({"Sort"}, {MachineKind::Base}, opts)[0];
+    std::string text = SweepRunner::canonicalJobText(job);
+
+    // The centralized exclusion list and the canonical text must
+    // agree: no excluded knob may appear as a key. (statSampleInterval
+    // is the one exception — its key predates the exclusion list and
+    // stays in the text for journal compatibility, pinned to the
+    // default value 0 so the knob's setting cannot affect it.)
+    for (const std::string &knob : SweepRunner::observabilityKnobs()) {
+        if (knob == "statSampleInterval") {
+            EXPECT_NE(text.find("statSampleInterval=0;"),
+                      std::string::npos)
+                << text;
+            continue;
+        }
+        EXPECT_EQ(text.find(knob + "="), std::string::npos)
+            << "excluded knob '" << knob
+            << "' leaked into canonical text: " << text;
+    }
+
+    // Pinned means pinned: setting the sampler knob leaves the text
+    // byte-identical.
+    auto sampled = job;
+    sampled.cfg.statSampleInterval = 1000;
+    EXPECT_EQ(text, SweepRunner::canonicalJobText(sampled));
+}
+
+TEST(SweepResilience, FingerprintsMatchGoldenSeedValues)
+{
+    // Golden fingerprints captured from the pre-profiler tree. If one
+    // of these changes, every existing journal for that config is
+    // invalidated — that is a breaking change and needs a deliberate
+    // kJournalVersion bump, not a silent drift.
+    struct Golden
+    {
+        MachineKind kind;
+        uint64_t fp;
+    };
+    const Golden golden[] = {
+        {MachineKind::Base, 0x46265b8e200cff92ull},
+        {MachineKind::ISRF1, 0xecc57f3c2ac84cfbull},
+        {MachineKind::ISRF4, 0x26d59cdb63d8a403ull},
+        {MachineKind::Cache, 0x2ce009909ade9cecull},
+    };
+    WorkloadOptions opts;
+    for (const auto &g : golden) {
+        SweepJob job;
+        job.workload = "FFT 2D";
+        job.cfg = MachineConfig::make(g.kind);
+        job.opts = opts;
+        EXPECT_EQ(SweepRunner::fingerprint(job), g.fp)
+            << machineKindName(g.kind) << " text:\n"
+            << SweepRunner::canonicalJobText(job);
+    }
 }
 
 TEST(SweepResilience, LoadJournalDiagnosesBadFiles)

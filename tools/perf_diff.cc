@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CLI wrapper over driver/perf_diff.h for CI perf gating.
+ *
+ *   perf_diff <baseline.json> <current.json>
+ *             [--threshold <frac>] [--min-seconds <secs>] [--warn-only]
+ *
+ * Compares two BENCH_*.json perf records (schema isrf-perf-record-v1)
+ * and prints every metric delta. Exit status: 0 = no regression,
+ * 1 = regression (or a baseline metric missing from the current
+ * record), 2 = bad usage or unreadable/invalid input. --warn-only
+ * prints regressions but still exits 0 (the CI "warn" phase of
+ * warn-then-gate).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "driver/perf_diff.h"
+
+using namespace isrf;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <current.json> "
+                 "[--threshold <frac>] [--min-seconds <secs>] "
+                 "[--warn-only]\n", argv0);
+}
+
+bool
+parsePositiveDouble(const char *s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s, &end);
+    return end && *end == '\0' && out >= 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PerfDiffOptions opts;
+    bool warnOnly = false;
+    std::string baseline, current;
+
+    for (int i = 1; i < argc; i++) {
+        std::string s = argv[i];
+        if (s == "--threshold" && i + 1 < argc) {
+            if (!parsePositiveDouble(argv[++i], opts.threshold)) {
+                std::fprintf(stderr, "--threshold expects a "
+                             "non-negative number\n");
+                return 2;
+            }
+        } else if (s == "--min-seconds" && i + 1 < argc) {
+            if (!parsePositiveDouble(argv[++i], opts.minSeconds)) {
+                std::fprintf(stderr, "--min-seconds expects a "
+                             "non-negative number\n");
+                return 2;
+            }
+        } else if (s == "--warn-only") {
+            warnOnly = true;
+        } else if (s == "--help" || s == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!s.empty() && s[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", s.c_str());
+            usage(argv[0]);
+            return 2;
+        } else if (baseline.empty()) {
+            baseline = s;
+        } else if (current.empty()) {
+            current = s;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (baseline.empty() || current.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    PerfDiffResult res = perfDiffFiles(baseline, current, opts);
+    std::fputs(res.summary().c_str(), stdout);
+    if (!res.ok())
+        return 2;
+    if (res.regression()) {
+        std::printf("RESULT: regression (threshold %.0f%%, floor "
+                    "%.3fs)\n", 100.0 * opts.threshold,
+                    opts.minSeconds);
+        return warnOnly ? 0 : 1;
+    }
+    std::printf("RESULT: ok (threshold %.0f%%, floor %.3fs)\n",
+                100.0 * opts.threshold, opts.minSeconds);
+    return 0;
+}
