@@ -23,6 +23,7 @@
  * CI to prove a hung job cannot block the sweep).
  */
 #include <cinttypes>
+#include <csignal>
 
 #include "bench_util.h"
 
@@ -30,6 +31,25 @@ using namespace isrf;
 using namespace isrf::bench;
 
 namespace {
+
+/**
+ * Root cancel token tripped by SIGINT/SIGTERM. Before this handler the
+ * default disposition killed the process mid-sweep, abandoning the
+ * journal's final record mid-append more often than necessary; now
+ * in-flight jobs finish as Cancelled at the next cycle boundary and
+ * the journal closes cleanly (the torn-tail recovery on resume becomes
+ * the SIGKILL-only path it was designed to be). CancelToken::cancel()
+ * is one relaxed atomic store — async-signal-safe.
+ */
+CancelToken gSignalCancel;
+volatile std::sig_atomic_t gSignalSeen = 0;
+
+void
+onTerminationSignal(int sig)
+{
+    gSignalSeen = sig;
+    gSignalCancel.cancel();
+}
 
 void
 writeTimingJson(const std::string &path, const SweepRunner &runner,
@@ -43,6 +63,14 @@ writeTimingJson(const std::string &path, const SweepRunner &runner,
     w.key("sum_job_seconds").value(t.sumJobSeconds);
     w.key("speedup").value(t.speedup());
     w.key("replayed").value(static_cast<uint64_t>(t.replayed));
+    // Resume-loss accounting: all zero on a clean resume. Operators
+    // (and CI) read these to tell a clean recovery from a lossy one.
+    w.key("journal_torn_records")
+        .value(static_cast<uint64_t>(t.tornRecordsDropped));
+    w.key("journal_torn_bytes")
+        .value(static_cast<uint64_t>(t.tornBytesDropped));
+    w.key("journal_lines_skipped")
+        .value(static_cast<uint64_t>(t.journalLinesSkipped));
     w.key("jobs").beginArray();
     for (const auto &o : outcomes) {
         w.beginObject();
@@ -173,6 +201,9 @@ main(int argc, char **argv)
     policy.retries = args.retries;
     policy.journalPath = args.journalPath;
     policy.resume = args.resume;
+    policy.cancel = &gSignalCancel;
+    std::signal(SIGINT, onTerminationSignal);
+    std::signal(SIGTERM, onTerminationSignal);
 
     SweepRunner runner(args.jobs);
     std::printf("running %zu jobs on %u thread(s)...\n\n", jobs.size(),
@@ -210,9 +241,32 @@ main(int argc, char **argv)
     std::printf("threads:            %u\n", timing.threads);
     std::printf("total wall time:    %.3f s\n", timing.wallSeconds);
     std::printf("sum of job times:   %.3f s\n", timing.sumJobSeconds);
-    std::printf("replayed jobs:      %zu\n", timing.replayed);
+    if (args.resume) {
+        // One line an operator can grep to tell a clean resume from a
+        // lossy one: how much journal input was dropped on recovery.
+        if (timing.tornRecordsDropped || timing.journalLinesSkipped)
+            std::printf("replayed jobs:      %zu (lossy resume: "
+                        "%zu torn record(s) dropped, %zu bytes; "
+                        "%zu blank line(s) skipped)\n",
+                        timing.replayed, timing.tornRecordsDropped,
+                        timing.tornBytesDropped,
+                        timing.journalLinesSkipped);
+        else
+            std::printf("replayed jobs:      %zu (clean resume, no "
+                        "journal lines dropped)\n", timing.replayed);
+    } else {
+        std::printf("replayed jobs:      %zu\n", timing.replayed);
+    }
     std::printf("aggregate speedup:  %.2fx\n", timing.speedup());
     std::printf("all done+correct:   %s\n", allGood ? "yes" : "NO");
+    if (gSignalSeen) {
+        std::printf("interrupted by signal %d: in-flight jobs finished "
+                    "as cancelled, journal closed cleanly%s\n",
+                    static_cast<int>(gSignalSeen),
+                    args.journalPath.empty()
+                        ? ""
+                        : "; re-run with --resume to continue");
+    }
 
     if (!args.jsonPath.empty())
         writeSweepJson(args.jsonPath, outcomes);

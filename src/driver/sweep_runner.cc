@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "sim/profiler.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "util/jsonl.h"
 #include "util/log.h"
@@ -32,20 +33,9 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 // Fingerprinting
 // ----------------------------------------------------------------------
 
-constexpr uint64_t kFnvBasis = 1469598103934665603ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
+// FNV-1a (util/hash.h): the store and the journal must hash alike.
 /** Journal format version; bump on any record-layout change. */
 constexpr uint64_t kJournalVersion = 1;
-
-uint64_t
-fnv1a(const std::string &s, uint64_t h = kFnvBasis)
-{
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= kFnvPrime;
-    }
-    return h;
-}
 
 /**
  * THE fingerprint exclusion list: MachineConfig knobs that observe a
@@ -61,6 +51,10 @@ fnv1a(const std::string &s, uint64_t h = kFnvBasis)
  *                       default 0 — see there)
  *   profileEnabled      host-time profiling reads only the wall clock
  *   profileStride       ditto
+ *   deadlineCheckCycles poll interval for wall-clock deadlines; it
+ *                       changes when a TimedOut is noticed, never the
+ *                       results of a run that completes (TimedOut is
+ *                       not replayable anyway)
  *
  * Keep this list, canonicalJob(), and the fromEnv() doc comment in
  * sync; tests assert canonical text is unchanged for non-observability
@@ -72,6 +66,7 @@ observabilityKnobList()
     static const std::vector<std::string> knobs = {
         "engineMode",        "traceSpec",      "traceCapacity",
         "statSampleInterval", "profileEnabled", "profileStride",
+        "deadlineCheckCycles",
     };
     return knobs;
 }
@@ -202,26 +197,6 @@ canonicalJob(const SweepJob &job)
 // Journal records
 // ----------------------------------------------------------------------
 
-RunStatus
-runStatusFromName(const std::string &name, bool &ok)
-{
-    ok = true;
-    if (name == "done")
-        return RunStatus::Done;
-    if (name == "limit")
-        return RunStatus::Limit;
-    if (name == "stalled")
-        return RunStatus::Stalled;
-    if (name == "timed_out")
-        return RunStatus::TimedOut;
-    if (name == "cancelled")
-        return RunStatus::Cancelled;
-    if (name == "failed")
-        return RunStatus::Failed;
-    ok = false;
-    return RunStatus::Done;
-}
-
 std::string
 headerRecord(uint64_t sweepFp, size_t jobCount)
 {
@@ -348,6 +323,8 @@ SweepRunner::loadJournal(const std::string &path)
         return load;
     }
     load.tornFinalLine = raw.tornFinalLine;
+    load.tornBytes = raw.tornBytes;
+    load.blankLines = raw.blankLines;
     if (raw.records.empty()) {
         load.error =
             strprintf("'%s' has no journal header", path.c_str());
@@ -380,7 +357,6 @@ SweepRunner::loadJournal(const std::string &path)
         SweepJournalRecord rec;
         uint64_t attempt = 1;
         std::string status;
-        bool statusOk = false;
         if (!v.valid() || !v.getString("type", type) ||
             type != "attempt" || !v.getU64("job", rec.job) ||
             !v.getString("workload", rec.workload) ||
@@ -393,8 +369,7 @@ SweepRunner::loadJournal(const std::string &path)
                 path.c_str(), i + 1);
             return load;
         }
-        rec.status = runStatusFromName(status, statusOk);
-        if (!statusOk) {
+        if (!runStatusFromName(status, rec.status)) {
             load.error =
                 strprintf("'%s' line %zu has unknown status '%s'",
                           path.c_str(), i + 1, status.c_str());
@@ -501,17 +476,19 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
                 // (which would corrupt the journal for later readers).
                 // The torn line is the unterminated tail, so everything
                 // up to the last '\n' is intact.
-                JsonlReadResult raw = readJsonl(policy.journalPath);
                 off_t newSize = st.st_size -
-                    static_cast<off_t>(raw.tornBytes);
+                    static_cast<off_t>(load.tornBytes);
                 if (::truncate(policy.journalPath.c_str(), newSize) != 0)
                     fatal("--resume: cannot trim torn record from %s: "
                           "%s", policy.journalPath.c_str(),
                           std::strerror(errno));
                 ISRF_WARN("sweep journal %s: dropped torn final record "
                           "(%zu bytes)", policy.journalPath.c_str(),
-                          raw.tornBytes);
+                          load.tornBytes);
+                timing_.tornRecordsDropped = 1;
+                timing_.tornBytesDropped = load.tornBytes;
             }
+            timing_.journalLinesSkipped = load.blankLines;
             for (size_t i = 0; i < jobs.size(); i++) {
                 auto it = load.latest.find(fps[i]);
                 if (it == load.latest.end())

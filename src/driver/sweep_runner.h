@@ -83,6 +83,17 @@ struct SweepTiming
     double wallSeconds = 0.0;     ///< sweep start to last completion
     double sumJobSeconds = 0.0;   ///< sum of executed job wall times
     size_t replayed = 0;          ///< jobs served from the journal
+    /**
+     * Journal-recovery loss accounting for --resume (0 on a clean
+     * resume): torn final records dropped (0 or 1 — the fsync'd
+     * journal can tear at most its last line), bytes discarded with
+     * them, and blank lines skipped by the tolerant reader. Surfaced
+     * in bench_sweep's summary and --timing-json so operators can
+     * tell a clean resume from a lossy one.
+     */
+    size_t tornRecordsDropped = 0;
+    size_t tornBytesDropped = 0;
+    size_t journalLinesSkipped = 0;
     /** Aggregate parallel speedup: sum of job times / sweep wall. */
     double speedup() const
     {
@@ -140,6 +151,8 @@ struct SweepJournalLoad
     uint64_t sweepFingerprint = 0; ///< from the header line
     size_t jobCount = 0;           ///< from the header line
     bool tornFinalLine = false;    ///< a torn final record was dropped
+    size_t tornBytes = 0;          ///< bytes dropped with the torn line
+    size_t blankLines = 0;         ///< blank lines the reader skipped
     /** Latest record per job fingerprint (attempt order = file order). */
     std::map<uint64_t, SweepJournalRecord> latest;
     /** Attempts journaled so far per job fingerprint. */

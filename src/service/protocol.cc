@@ -1,0 +1,141 @@
+#include "service/protocol.h"
+
+#include "util/json.h"
+#include "util/jsonl.h"
+#include "util/log.h"
+
+namespace isrf {
+
+bool
+machineKindFromName(const std::string &name, MachineKind &out)
+{
+    for (MachineKind k : {MachineKind::Base, MachineKind::ISRF1,
+                          MachineKind::ISRF4, MachineKind::Cache}) {
+        if (name == machineKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+fingerprintHex(uint64_t fp)
+{
+    return strprintf("%016llx", static_cast<unsigned long long>(fp));
+}
+
+bool
+parseServiceRequest(const std::string &line, ServiceRequest &out,
+                    std::string &err)
+{
+    JsonLineView v(line);
+    if (!v.valid()) {
+        err = "request is not a JSON object";
+        return false;
+    }
+    if (!v.getString("op", out.op)) {
+        err = "missing string field \"op\"";
+        return false;
+    }
+    v.getString("id", out.id);
+    if (out.op == "stats" || out.op == "ping")
+        return true;
+    if (out.op != "run") {
+        err = "unknown op \"" + out.op + "\"";
+        return false;
+    }
+    if (!v.getString("workload", out.workload)) {
+        err = "run: missing string field \"workload\"";
+        return false;
+    }
+    if (!v.getString("machine", out.machine)) {
+        err = "run: missing string field \"machine\"";
+        return false;
+    }
+    uint64_t u = 0;
+    if (v.getU64("repeats", u)) {
+        if (u == 0 || u > 1u << 20) {
+            err = "run: \"repeats\" out of range";
+            return false;
+        }
+        out.repeats = static_cast<uint32_t>(u);
+    }
+    v.getU64("seed", out.seed);
+    double d = 0.0;
+    if (v.getDouble("deadline_ms", d)) {
+        if (d < 0.0) {
+            err = "run: \"deadline_ms\" must be >= 0";
+            return false;
+        }
+        out.deadlineMs = d;
+    }
+    if (v.getU64("retries", u)) {
+        if (u > 16) {
+            err = "run: \"retries\" out of range (max 16)";
+            return false;
+        }
+        out.retries = static_cast<int32_t>(u);
+    }
+    return true;
+}
+
+namespace {
+
+void
+echoId(JsonWriter &w, const std::string &id)
+{
+    if (!id.empty())
+        w.field("id", id);
+}
+
+} // namespace
+
+std::string
+errorResponseJson(const std::string &id, const std::string &code,
+                  const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("ok", false);
+    echoId(w, id);
+    w.field("error", code);
+    w.field("message", message);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+pongResponseJson(const std::string &id, bool draining)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("ok", true);
+    echoId(w, id);
+    w.field("op", std::string("pong"));
+    w.field("draining", draining);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+resultResponseJson(const std::string &id, uint64_t key, bool cached,
+                   const std::string &status, uint32_t attempts,
+                   double wallSeconds, const std::string &resultText)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("ok", true);
+    echoId(w, id);
+    w.field("op", std::string("result"));
+    w.field("key", fingerprintHex(key));
+    w.field("cached", cached);
+    w.field("status", status);
+    w.field("attempts", static_cast<uint64_t>(attempts));
+    w.field("wall_seconds", wallSeconds);
+    w.key("result").raw(resultText);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace isrf

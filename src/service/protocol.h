@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wire protocol of the sweep service daemon (tools/isrf_sweepd).
+ *
+ * Newline-delimited JSON over a byte stream (Unix-domain socket or
+ * TCP): one request object per line in, one response object per line
+ * out, in request order per connection. The format reuses the journal
+ * toolbox — requests are parsed with JsonLineView, responses written
+ * with JsonWriter, and a cached job's resultJson bytes are spliced
+ * verbatim into the response so a store hit is byte-identical to the
+ * originally computed reply.
+ *
+ * Requests ("op" selects the verb):
+ *   {"op":"run","workload":"FFT 2D","machine":"ISRF1",
+ *    "repeats":2,"seed":12345,"deadline_ms":5000,"retries":1,
+ *    "id":"..."}                          — simulate (or serve) one job
+ *   {"op":"stats","id":"..."}             — health + counters snapshot
+ *   {"op":"ping","id":"..."}              — liveness probe
+ *
+ * Responses always carry "ok" plus the echoed "id" (when given):
+ *   {"ok":true,"op":"result","key":"<16-hex fingerprint>",
+ *    "cached":false,"status":"done","attempts":1,
+ *    "wall_seconds":0.42,"result":{...}}
+ *   {"ok":false,"error":"overloaded","message":"..."}
+ *
+ * Error codes are closed-vocabulary so clients can switch on them:
+ * bad_request, unknown_workload, unknown_machine, overloaded,
+ * draining, internal.
+ */
+#ifndef ISRF_SERVICE_PROTOCOL_H
+#define ISRF_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+
+namespace isrf {
+
+/** One decoded request line. */
+struct ServiceRequest
+{
+    std::string op;        ///< "run" | "stats" | "ping"
+    std::string id;        ///< opaque client tag, echoed back ("" ok)
+    std::string workload;  ///< run: name in workloadRegistry()
+    std::string machine;   ///< run: machine kind name ("Base", ...)
+    uint32_t repeats = 2;
+    uint64_t seed = 12345;
+    /** Wall-clock budget for the whole request, queue wait included
+     *  (0 = server default). */
+    double deadlineMs = 0.0;
+    /** Extra attempts after a Stalled/TimedOut attempt (-1 = server
+     *  default). */
+    int32_t retries = -1;
+};
+
+/**
+ * Parse one request line. @return false with a human-readable `err`
+ * on malformed JSON, a missing/unknown "op", or a bad field type;
+ * field *values* (unknown workload name, etc.) are validated by the
+ * server, which knows the registries.
+ */
+bool parseServiceRequest(const std::string &line, ServiceRequest &out,
+                         std::string &err);
+
+/** Inverse of machineKindName(). @return false on an unknown name. */
+bool machineKindFromName(const std::string &name, MachineKind &out);
+
+/** A job fingerprint as the fixed-width hex key used on the wire. */
+std::string fingerprintHex(uint64_t fp);
+
+/** {"ok":false,"error":code,"message":...} (+ echoed id). */
+std::string errorResponseJson(const std::string &id,
+                              const std::string &code,
+                              const std::string &message);
+
+/** {"ok":true,"op":"pong","draining":...} (+ echoed id). */
+std::string pongResponseJson(const std::string &id, bool draining);
+
+/**
+ * {"ok":true,"op":"result",...} for a finished run request.
+ * `resultText` must be canonical resultJson() bytes; it is spliced
+ * verbatim (this is what makes hits byte-identical to computes).
+ */
+std::string resultResponseJson(const std::string &id, uint64_t key,
+                               bool cached, const std::string &status,
+                               uint32_t attempts, double wallSeconds,
+                               const std::string &resultText);
+
+} // namespace isrf
+
+#endif // ISRF_SERVICE_PROTOCOL_H

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The sweep service: a long-lived simulation server.
+ *
+ * bench_sweep runs one matrix and exits; the service answers an open
+ * stream of single-job requests (see service/protocol.h) while staying
+ * up through overload, bad input, hanging jobs, and kill -9. Its
+ * robustness toolbox is the one the batch path already built — job
+ * fingerprints, CancelToken deadlines, retry-with-backoff, crash-safe
+ * JSONL persistence — rearranged for serving:
+ *
+ *  - Admission control. Run requests pass through a bounded queue;
+ *    when it is full the request is rejected immediately with a
+ *    structured "overloaded" error instead of queueing without bound.
+ *    Load shedding is explicit and observable (counters), never an
+ *    OOM or a silently growing latency tail.
+ *
+ *  - Per-request deadlines. Each admitted request arms a CancelToken
+ *    deadline covering its *whole* life — queue wait included — and
+ *    chains it to the server's stop token. Workers poll it through
+ *    Engine::pollCancel (granularity: MachineConfig::
+ *    deadlineCheckCycles), so even an always-hanging job is bounced at
+ *    its deadline without wedging a worker forever.
+ *
+ *  - Retry with backoff. A Stalled or TimedOut attempt is transient
+ *    (host overload, tight deadline): it is retried with doubling,
+ *    jittered backoff while the request deadline is unexpired and the
+ *    retry budget lasts. Done / Cancelled / Failed are final.
+ *
+ *  - Single-flight coalescing. Identical requests (same fingerprint)
+ *    arriving while one is queued or computing attach to that job and
+ *    all receive its outcome — a thundering herd costs one simulation.
+ *
+ *  - Result store. Completed deterministic outcomes (Done / Stalled /
+ *    Failed — exactly SweepRunner::replayable) are put in the shared
+ *    ResultStore; a later identical request is served the stored
+ *    resultJson bytes without constructing a Machine.
+ *
+ *  - Graceful drain. requestDrain() (SIGTERM in the daemon) stops
+ *    accepting connections and refuses new run requests with
+ *    "draining", but finishes every in-flight and queued job, flushes
+ *    the store, and only then shuts down. stop() is the hard variant:
+ *    it also cancels the stop token, so running jobs exit Cancelled at
+ *    their next cycle boundary.
+ *
+ * All configuration is captured at start(): machine configs are
+ * resolved through MachineConfig::fromEnv() once, on the starting
+ * thread — workers never read the environment (the PR-3 isolation
+ * rule).
+ */
+#ifndef ISRF_SERVICE_SERVER_H
+#define ISRF_SERVICE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/sweep_runner.h"
+#include "service/protocol.h"
+#include "service/store.h"
+
+namespace isrf {
+
+/** Static configuration of one SweepService instance. */
+struct ServiceConfig
+{
+    /** Unix-domain socket path (required; unlinked + rebound). */
+    std::string socketPath;
+    /** Also listen on 127.0.0.1:tcpPort (0 = Unix socket only). */
+    int tcpPort = 0;
+    /** Worker threads (0 = hardware concurrency). */
+    unsigned workers = 0;
+    /** Max queued (admitted, not yet running) jobs before shedding. */
+    size_t queueMax = 64;
+    /** Default per-request deadline when the client sends none
+     *  (0 = unbounded). */
+    double defaultDeadlineMs = 0.0;
+    /** Clamp on client-requested deadlines (0 = no clamp). */
+    double maxDeadlineMs = 0.0;
+    /** Default retry budget for Stalled/TimedOut attempts. */
+    uint32_t retries = 1;
+    double backoffBaseSeconds = 0.05;
+    double backoffCapSeconds = 1.0;
+    /** Result-store log path ("" = memory-only store). */
+    std::string storePath;
+    /** Result-store live-byte budget (0 = unbounded). */
+    size_t storeMaxBytes = 64 * 1024 * 1024;
+    /**
+     * Accept the synthetic "__hang__" workload: a job that never
+     * finishes but honors its CancelToken — the deadline-enforcement
+     * probe used by tests and the CI resilience job. Off by default so
+     * a production daemon cannot be asked to burn a worker on demand.
+     */
+    bool allowTestJobs = false;
+    /** Log one line per request to stderr. */
+    bool verbose = false;
+};
+
+/** Monotonic counters exposed through the stats endpoint. */
+struct ServiceCounters
+{
+    uint64_t connections = 0;
+    uint64_t requests = 0;        ///< parsed request lines
+    uint64_t badRequests = 0;     ///< parse/validation rejections
+    uint64_t runRequests = 0;
+    uint64_t storeHits = 0;       ///< served from the store, no queue
+    uint64_t coalesced = 0;       ///< attached to an in-flight job
+    uint64_t admitted = 0;        ///< entered the queue
+    uint64_t rejectedOverload = 0;
+    uint64_t rejectedDraining = 0;
+    uint64_t computed = 0;        ///< jobs actually simulated
+    uint64_t deadlineExpiredInQueue = 0;  ///< bounced before running
+    uint64_t timedOut = 0;        ///< final status TimedOut
+    uint64_t cancelled = 0;
+    uint64_t failed = 0;
+    uint64_t stalled = 0;
+    uint64_t retriedAttempts = 0; ///< extra attempts beyond the first
+};
+
+class SweepService
+{
+  public:
+    SweepService() = default;
+    ~SweepService();
+    SweepService(const SweepService &) = delete;
+    SweepService &operator=(const SweepService &) = delete;
+
+    /**
+     * Open the store, bind the listeners, start acceptors + workers.
+     * @return false (with a message on stderr) when a socket or the
+     * store cannot be set up.
+     */
+    bool start(const ServiceConfig &cfg);
+
+    /**
+     * Stop accepting; refuse new run requests; let queued + running
+     * jobs finish. Async-signal-unsafe parts are deferred: the call
+     * itself only flips atomics, so it is safe from a signal handler.
+     */
+    void requestDrain();
+
+    /** requestDrain() + cancel running jobs via the stop token. */
+    void requestStop();
+
+    /**
+     * Block until drained (queue empty, no job in flight, every
+     * connection closed), then join all threads and close the store.
+     * Returns immediately if start() failed or was never called.
+     */
+    void shutdown();
+
+    bool draining() const
+    {
+        return draining_.load(std::memory_order_relaxed);
+    }
+
+    /** Queue + in-flight jobs (for tests and the drain loop). */
+    size_t pendingJobs() const;
+
+    ServiceCounters counters() const;
+    const ResultStore &store() const { return store_; }
+
+    /** The synthetic always-hanging workload name (see allowTestJobs). */
+    static constexpr const char *kHangWorkload = "__hang__";
+
+  private:
+    /** One admitted run request; shared by every coalesced waiter. */
+    struct PendingJob
+    {
+        SweepJob job;
+        uint64_t fp = 0;
+        CancelToken token;       ///< deadline armed at admission
+        uint32_t retries = 0;
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        SweepOutcome outcome;
+    };
+    using JobPtr = std::shared_ptr<PendingJob>;
+
+    void acceptLoop(int listenFd);
+    void serveConnection(int fd);
+    /** Handle one request line; returns the response line. */
+    std::string handleLine(const std::string &line);
+    std::string handleRun(const ServiceRequest &req);
+    std::string statsResponseLocked(const std::string &id);
+    void workerLoop();
+    void executeJob(PendingJob &p);
+    /** Build the resolved job for a run request (false = bad name). */
+    bool buildJob(const ServiceRequest &req, SweepJob &out,
+                  std::string &err) const;
+
+    ServiceConfig cfg_;
+    bool started_ = false;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stopping_{false};
+    /** Chained into every request token; cancelled by requestStop(). */
+    CancelToken stopToken_;
+
+    /** Machine configs resolved once at start() (env read point). */
+    std::map<MachineKind, MachineConfig> configs_;
+
+    ResultStore store_;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+
+    mutable std::mutex qmu_;
+    std::condition_variable qcv_;
+    std::deque<JobPtr> queue_;
+    /** Queued or computing jobs by fingerprint (single-flight map). */
+    std::map<uint64_t, JobPtr> inflight_;
+
+    mutable std::mutex cmu_;
+    ServiceCounters counters_;
+    std::atomic<uint64_t> liveConnections_{0};
+
+    std::vector<std::thread> acceptors_;
+    std::vector<std::thread> workers_;
+    std::mutex connMu_;
+    std::vector<std::thread> connections_;
+};
+
+} // namespace isrf
+
+#endif // ISRF_SERVICE_SERVER_H

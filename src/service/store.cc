@@ -1,0 +1,411 @@
+#include "service/store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/hash.h"
+#include "util/json.h"
+#include "util/log.h"
+
+namespace isrf {
+
+namespace {
+
+std::string
+headerRecord()
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("type", std::string("header"));
+    w.field("format", std::string("isrf-result-store"));
+    w.field("version", ResultStore::kStoreVersion);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+delRecord(uint64_t key)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("type", std::string("del"));
+    w.field("key", key);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+uint64_t
+ResultStore::checksum(uint64_t key, const StoredResult &r)
+{
+    // Key and status are folded in so a record cannot be replayed
+    // under another key (or a TimedOut body served as Done) by editing
+    // only the cheap fields; the result bytes dominate the hash.
+    uint64_t h = fnv1a(std::to_string(key) + "|" +
+                       runStatusName(r.status) + "|" + r.workload +
+                       "|" + r.machine + "|");
+    return fnv1a(r.resultText, h);
+}
+
+std::string
+ResultStore::putRecord(uint64_t key, const StoredResult &r,
+                       uint64_t check) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("type", std::string("put"));
+    w.field("key", key);
+    w.field("workload", r.workload);
+    w.field("machine", r.machine);
+    w.field("status", std::string(runStatusName(r.status)));
+    w.field("check", check);
+    w.key("result").raw(r.resultText);
+    w.endObject();
+    return w.str();
+}
+
+bool
+ResultStore::isOpen() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return path_.empty() || log_.isOpen();
+}
+
+bool
+ResultStore::open(const std::string &path, size_t maxBytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    lru_.clear();
+    stats_ = ResultStoreStats();
+    path_ = path;
+    maxBytes_ = maxBytes;
+    stats_.maxBytes = maxBytes;
+    stats_.persistent = !path.empty();
+    if (path.empty())
+        return true;  // memory-only mode
+
+    // ---- recovery scan ------------------------------------------------
+    // Unlike the sweep journal (readJsonl), an invalid *interior* line
+    // here must not reject the file: the store is long-lived and
+    // shared, so a single corrupt record (bit rot, partial overwrite)
+    // quarantines that record alone — every other key keeps serving.
+    // Each record is self-certifying via its checksum, so scanning is
+    // safe without trusting file-level structure.
+    std::string content;
+    bool exists = false;
+    if (std::FILE *f = std::fopen(path.c_str(), "rb")) {
+        exists = true;
+        char buf[1 << 16];
+        size_t n;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            content.append(buf, n);
+        const bool readErr = std::ferror(f) != 0;
+        std::fclose(f);
+        if (readErr) {
+            ISRF_WARN("ResultStore: I/O error reading '%s'",
+                      path.c_str());
+            return false;
+        }
+    }
+
+    bool sawHeader = false;
+    size_t pos = 0;
+    while (pos < content.size()) {
+        const size_t nl = content.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const size_t end = terminated ? nl : content.size();
+        std::string line = content.substr(pos, end - pos);
+        pos = terminated ? nl + 1 : content.size();
+        if (line.empty())
+            continue;
+        if (!terminated) {
+            // Torn final line from a killed append: recoverable, like
+            // journal resume. Trim it below so the next append starts
+            // on a fresh line.
+            stats_.tornTailDropped = true;
+            stats_.tornBytesDropped = line.size();
+            break;
+        }
+        JsonLineView v(line);
+        std::string type;
+        if (!v.valid() || !v.getString("type", type)) {
+            stats_.quarantined++;
+            continue;
+        }
+        if (type == "header") {
+            uint64_t version = 0;
+            std::string format;
+            if (v.getU64("version", version) &&
+                v.getString("format", format) &&
+                format == "isrf-result-store" &&
+                version == kStoreVersion)
+                sawHeader = true;
+            else
+                stats_.quarantined++;
+            continue;
+        }
+        if (type == "del") {
+            uint64_t key = 0;
+            if (v.getU64("key", key))
+                eraseLocked(key, /*tombstone=*/false);
+            else
+                stats_.quarantined++;
+            continue;
+        }
+        if (type != "put") {
+            stats_.quarantined++;
+            continue;
+        }
+        uint64_t key = 0, check = 0;
+        StoredResult r;
+        std::string status;
+        if (!v.getU64("key", key) || !v.getU64("check", check) ||
+            !v.getString("workload", r.workload) ||
+            !v.getString("machine", r.machine) ||
+            !v.getString("status", status) ||
+            !runStatusFromName(status, r.status) ||
+            !v.getRaw("result", r.resultText) ||
+            checksum(key, r) != check) {
+            stats_.quarantined++;
+            continue;
+        }
+        // Later records win (a re-put after eviction, or a compaction
+        // racing an append that survived the rename).
+        eraseLocked(key, /*tombstone=*/false);
+        insertLocked(key, std::move(r), check, line.size() + 1);
+    }
+    (void)sawHeader;  // informational: a missing header alone is not
+                      // fatal — every record is checksummed.
+    stats_.recoveredEntries = index_.size();
+
+    if (stats_.tornTailDropped) {
+        const off_t newSize = static_cast<off_t>(
+            content.size() - stats_.tornBytesDropped);
+        if (::truncate(path.c_str(), newSize) != 0) {
+            ISRF_WARN("ResultStore: cannot trim torn record from "
+                      "'%s': %s", path.c_str(), std::strerror(errno));
+            return false;
+        }
+        ISRF_WARN("ResultStore '%s': dropped torn final record "
+                  "(%zu bytes)", path.c_str(),
+                  stats_.tornBytesDropped);
+        content.resize(static_cast<size_t>(newSize));
+    }
+    stats_.logBytes = content.size();
+
+    if (!log_.open(path, /*append=*/true))
+        return false;
+    if (!exists || content.empty()) {
+        if (!appendLocked(headerRecord()))
+            return false;
+    }
+
+    if (stats_.quarantined > 0) {
+        ISRF_WARN("ResultStore '%s': quarantined %llu corrupt "
+                  "record(s); compacting to scrub them",
+                  path.c_str(),
+                  static_cast<unsigned long long>(stats_.quarantined));
+        compactLocked();
+    }
+    // Enforce the budget against whatever recovery loaded.
+    evictLocked(/*keep=*/0);
+    return true;
+}
+
+void
+ResultStore::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.close();
+}
+
+bool
+ResultStore::contains(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.count(key) != 0;
+}
+
+bool
+ResultStore::get(uint64_t key, StoredResult &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        stats_.misses++;
+        return false;
+    }
+    // Verify on every read: the checksum was computed at insert (or
+    // recovery) time, so any later corruption of the cached bytes is
+    // caught here and the entry recomputed instead of served.
+    if (checksum(key, it->second.result) != it->second.check) {
+        ISRF_WARN("ResultStore: checksum mismatch for key %016llx; "
+                  "quarantining (will recompute)",
+                  static_cast<unsigned long long>(key));
+        stats_.quarantined++;
+        eraseLocked(key, /*tombstone=*/true);
+        stats_.misses++;
+        return false;
+    }
+    lru_.splice(lru_.end(), lru_, it->second.lruIt);  // touch
+    stats_.hits++;
+    out = it->second.result;
+    return true;
+}
+
+bool
+ResultStore::put(uint64_t key, const StoredResult &r)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t check = checksum(key, r);
+    const std::string record = putRecord(key, r, check);
+    bool ok = appendLocked(record);
+    eraseLocked(key, /*tombstone=*/false);  // replace, don't double
+    insertLocked(key, r, check, record.size() + 1);
+    stats_.puts++;
+    evictLocked(/*keep=*/key);
+    maybeCompactLocked();
+    return ok;
+}
+
+// ----------------------------------------------------------------------
+// Internals (mu_ held)
+// ----------------------------------------------------------------------
+
+bool
+ResultStore::appendLocked(const std::string &record)
+{
+    if (!log_.isOpen())
+        return path_.empty();  // memory-only: nothing to persist
+    if (!log_.append(record))
+        return false;
+    stats_.logBytes += record.size() + 1;
+    return true;
+}
+
+void
+ResultStore::insertLocked(uint64_t key, StoredResult r, uint64_t check,
+                          size_t recordBytes)
+{
+    Entry e;
+    e.result = std::move(r);
+    e.check = check;
+    e.recordBytes = recordBytes;
+    e.lruIt = lru_.insert(lru_.end(), key);
+    stats_.liveBytes += recordBytes;
+    stats_.entries++;
+    index_.emplace(key, std::move(e));
+}
+
+void
+ResultStore::eraseLocked(uint64_t key, bool tombstone)
+{
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return;
+    stats_.liveBytes -= it->second.recordBytes;
+    stats_.entries--;
+    lru_.erase(it->second.lruIt);
+    index_.erase(it);
+    if (tombstone)
+        appendLocked(delRecord(key));
+}
+
+void
+ResultStore::evictLocked(uint64_t keep)
+{
+    if (maxBytes_ == 0)
+        return;
+    // Never evict the entry just inserted (`keep`): an over-budget
+    // single result should still serve for this process's lifetime
+    // rather than thrash.
+    while (stats_.liveBytes > maxBytes_ && !lru_.empty()) {
+        const uint64_t victim = lru_.front();
+        if (victim == keep && lru_.size() == 1)
+            break;
+        if (victim == keep) {
+            // Rotate the kept key out of the firing line.
+            lru_.splice(lru_.end(), lru_, index_.find(keep)->second.lruIt);
+            continue;
+        }
+        eraseLocked(victim, /*tombstone=*/true);
+        stats_.evicted++;
+    }
+}
+
+void
+ResultStore::maybeCompactLocked()
+{
+    if (path_.empty())
+        return;
+    // Compact once dead records dominate: log > 2x live (+ a floor so
+    // small stores don't churn).
+    if (stats_.logBytes > 2 * stats_.liveBytes + 4096)
+        compactLocked();
+}
+
+void
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    compactLocked();
+}
+
+void
+ResultStore::compactLocked()
+{
+    if (path_.empty())
+        return;
+    const std::string tmp = path_ + ".compact.tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        ISRF_WARN("ResultStore: cannot open '%s' for compaction: %s",
+                  tmp.c_str(), std::strerror(errno));
+        return;
+    }
+    std::string content = headerRecord();
+    content += '\n';
+    // Oldest-first so a replaying recovery rebuilds the same LRU order.
+    for (uint64_t key : lru_) {
+        const Entry &e = index_.find(key)->second;
+        content += putRecord(key, e.result, e.check);
+        content += '\n';
+    }
+    bool ok =
+        std::fwrite(content.data(), 1, content.size(), f) ==
+            content.size() &&
+        std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    // rename() is atomic on POSIX: a crash leaves either the old log
+    // (with its dead records) or the new one — never a mix.
+    if (!ok || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ISRF_WARN("ResultStore: compaction of '%s' failed: %s",
+                  path_.c_str(), std::strerror(errno));
+        std::remove(tmp.c_str());
+        return;
+    }
+    log_.close();
+    if (!log_.open(path_, /*append=*/true))
+        ISRF_WARN("ResultStore: cannot reopen '%s' after compaction",
+                  path_.c_str());
+    stats_.logBytes = content.size();
+    // recordBytes of live entries approximates liveBytes == logBytes
+    // minus the header now; keep the budget accounting as-is (it is
+    // already the sum of live record sizes).
+    stats_.compactions++;
+}
+
+ResultStoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace isrf

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Crash-safe content-addressed result store for the sweep service.
+ *
+ * The PR-5 journal is a per-sweep file: one header, one fingerprint
+ * universe, deleted when the sweep is done. The serving daemon needs
+ * the same durability as a *shared, long-lived* cache keyed by
+ * SweepRunner::fingerprint() values — any job ever computed, by any
+ * request, answerable forever without constructing a Machine. This
+ * store promotes the journal design accordingly:
+ *
+ *  - Append-log persistence. One fsync'd JSONL record per mutation
+ *    ("put" stores a result, "del" is an eviction tombstone), so a
+ *    SIGKILL at any instant loses at most one torn final line — which
+ *    recovery truncates exactly like journal resume does.
+ *
+ *  - Per-record checksums, verified on read. Every put record carries
+ *    an FNV-1a checksum over (key, status, result bytes). A record
+ *    that fails its checksum — or does not parse at all — is
+ *    *quarantined*: counted, dropped from the index, and scrubbed from
+ *    disk by an immediate compaction. A corrupt store never crashes
+ *    the daemon and never serves wrong bytes; the affected keys are
+ *    simply recomputed on next request.
+ *
+ *  - Size-bounded LRU eviction. Live bytes are capped; the
+ *    least-recently-used entries are evicted (tombstoned) first. The
+ *    append log is compacted — rewritten with only live, verified
+ *    entries — once dead records dominate it.
+ *
+ * A get() hit returns the stored resultJson bytes verbatim, which is
+ * what makes a cache-hit response byte-identical to the original
+ * computed response.
+ *
+ * All public methods are thread-safe (one internal mutex — the fsync
+ * per put dominates any lock cost).
+ */
+#ifndef ISRF_SERVICE_STORE_H
+#define ISRF_SERVICE_STORE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/engine.h"
+#include "util/jsonl.h"
+
+namespace isrf {
+
+/** One stored (or to-be-stored) job outcome. */
+struct StoredResult
+{
+    std::string workload;
+    std::string machine;     ///< machine kind name ("Base", ...)
+    RunStatus status = RunStatus::Done;
+    /** Canonical resultJson() bytes, spliced verbatim on a hit. */
+    std::string resultText;
+};
+
+/** Counters exposed through the daemon's stats endpoint. */
+struct ResultStoreStats
+{
+    size_t entries = 0;      ///< live entries in the index
+    size_t liveBytes = 0;    ///< bytes of live records (the LRU budget)
+    size_t logBytes = 0;     ///< bytes currently in the append log
+    size_t maxBytes = 0;     ///< configured budget (0 = unbounded)
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t puts = 0;
+    uint64_t evicted = 0;      ///< entries dropped by the LRU bound
+    uint64_t quarantined = 0;  ///< corrupt records dropped, ever
+    uint64_t compactions = 0;
+    /** Recovery accounting from the last open(). */
+    bool tornTailDropped = false;
+    size_t tornBytesDropped = 0;
+    size_t recoveredEntries = 0;
+    bool persistent = false;   ///< false in memory-only mode
+};
+
+class ResultStore
+{
+  public:
+    ResultStore() = default;
+    ~ResultStore() { close(); }
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Open (and recover) the store. `path` empty = memory-only mode:
+     * same semantics, nothing persisted. `maxBytes` bounds the live
+     * record bytes (0 = unbounded). Recovery tolerates any corruption:
+     * a torn final line is truncated, corrupt interior records are
+     * quarantined and scrubbed by compaction. @return false only when
+     * the log cannot be opened for appending (I/O error) — never
+     * because of content.
+     */
+    bool open(const std::string &path, size_t maxBytes);
+
+    /** Flush and close the append log (no-op in memory-only mode). */
+    void close();
+
+    bool isOpen() const;
+    const std::string &path() const { return path_; }
+
+    /**
+     * Look up `key`. On a hit the record's checksum is re-verified
+     * first; a mismatch quarantines the entry and reports a miss (the
+     * caller recomputes), so corrupt bytes are never served. A hit
+     * refreshes the entry's LRU position.
+     */
+    bool get(uint64_t key, StoredResult &out);
+
+    /**
+     * Insert or replace `key`. Appends one fsync'd record, then
+     * applies LRU eviction and (if dead records dominate the log)
+     * compaction. @return false on an I/O/serialization failure — the
+     * in-memory entry is still served for this process's lifetime.
+     */
+    bool put(uint64_t key, const StoredResult &r);
+
+    /** True when `key` is present (no LRU touch, no checksum check). */
+    bool contains(uint64_t key) const;
+
+    /**
+     * Rewrite the log with only live, verified entries (oldest-first,
+     * so recovery reconstructs the LRU order). Called automatically
+     * when the log doubles its live size and after a recovery that
+     * quarantined records; public for tests and tooling.
+     */
+    void compact();
+
+    ResultStoreStats stats() const;
+
+    /** The checksum stored with (and verified against) each record. */
+    static uint64_t checksum(uint64_t key, const StoredResult &r);
+
+    /** Log-format version; bump on any record-layout change. */
+    static constexpr uint64_t kStoreVersion = 1;
+
+  private:
+    struct Entry
+    {
+        StoredResult result;
+        uint64_t check = 0;        ///< checksum at insert/recover time
+        size_t recordBytes = 0;    ///< serialized record size (budget)
+        std::list<uint64_t>::iterator lruIt;
+    };
+
+    bool appendLocked(const std::string &record);
+    void insertLocked(uint64_t key, StoredResult r, uint64_t check,
+                      size_t recordBytes);
+    void eraseLocked(uint64_t key, bool tombstone);
+    void evictLocked(uint64_t keep);
+    void maybeCompactLocked();
+    void compactLocked();
+    std::string putRecord(uint64_t key, const StoredResult &r,
+                          uint64_t check) const;
+
+    mutable std::mutex mu_;
+    std::string path_;
+    size_t maxBytes_ = 0;
+    JsonlWriter log_;
+    std::map<uint64_t, Entry> index_;
+    /** LRU recency: front = coldest, back = hottest. */
+    std::list<uint64_t> lru_;
+    ResultStoreStats stats_;
+};
+
+} // namespace isrf
+
+#endif // ISRF_SERVICE_STORE_H

@@ -30,13 +30,13 @@ Engine::pollCancel()
         return RunStatus::Done;
     // The atomic flag is a relaxed load — cheap enough for every
     // check point. The wall clock is read at most once per
-    // kDeadlineCheckCycles simulated cycles; skip-mode jumps may cross
+    // deadlineCheckCycles_ simulated cycles; skip-mode jumps may cross
     // several boundaries, which only means the next poll reads the
     // clock once (deadlines stay honored, just never over-sampled).
     if (cancel_->cancelRequested())
         return RunStatus::Cancelled;
     if (now_ >= nextDeadlineCheck_) {
-        nextDeadlineCheck_ = now_ + kDeadlineCheckCycles;
+        nextDeadlineCheck_ = now_ + deadlineCheckCycles_;
         if (cancel_->deadlineExpired())
             return RunStatus::TimedOut;
     }
@@ -164,6 +164,20 @@ runStatusName(RunStatus status)
       case RunStatus::Failed: return "failed";
     }
     return "?";
+}
+
+bool
+runStatusFromName(const std::string &name, RunStatus &out)
+{
+    for (RunStatus s : {RunStatus::Done, RunStatus::Limit,
+                        RunStatus::Stalled, RunStatus::TimedOut,
+                        RunStatus::Cancelled, RunStatus::Failed}) {
+        if (name == runStatusName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
 }
 
 const char *

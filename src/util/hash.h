@@ -1,0 +1,32 @@
+/**
+ * @file
+ * FNV-1a hashing shared by the sweep fingerprints (driver/) and the
+ * content-addressed result store (service/). One definition so the two
+ * layers can never drift: a store keyed by SweepRunner::fingerprint()
+ * values must hash exactly like the journal that seeded it.
+ */
+#ifndef ISRF_UTIL_HASH_H
+#define ISRF_UTIL_HASH_H
+
+#include <cstdint>
+#include <string>
+
+namespace isrf {
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/** 64-bit FNV-1a over `s`, chainable via the `h` seed. */
+inline uint64_t
+fnv1a(const std::string &s, uint64_t h = kFnvBasis)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace isrf
+
+#endif // ISRF_UTIL_HASH_H

@@ -99,7 +99,10 @@ readJsonl(const std::string &path)
         const size_t end = terminated ? nl : content.size();
         std::string line = content.substr(pos, end - pos);
         lineNo++;
-        if (!line.empty()) {
+        if (line.empty()) {
+            if (terminated)
+                res.blankLines++;
+        } else {
             if (jsonValid(line)) {
                 // An unterminated-but-valid final chunk is a complete
                 // record whose trailing newline was torn off — keep it.

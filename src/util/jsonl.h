@@ -71,10 +71,23 @@ struct JsonlReadResult
     bool tornFinalLine = false;
     /** Bytes discarded with the torn final line. */
     size_t tornBytes = 0;
+    /**
+     * Blank lines skipped while reading. Together with tornFinalLine
+     * this is the full accounting of input the tolerant reader did not
+     * return as records — callers (e.g. sweep --resume) surface both
+     * so operators can tell a clean recovery from a lossy one.
+     */
+    size_t blankLines = 0;
     /** Non-empty on unreadable file or corrupt interior line. */
     std::string error;
 
     bool ok() const { return error.empty(); }
+
+    /** Lines the reader consumed without returning a record. */
+    size_t droppedLines() const
+    {
+        return blankLines + (tornFinalLine ? 1 : 0);
+    }
 };
 
 /**

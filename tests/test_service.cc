@@ -1,0 +1,816 @@
+/**
+ * @file
+ * Tests for the sweep service (src/service/): the content-addressed
+ * result store's crash/corruption recovery — including a
+ * flip-one-byte-at-every-offset sweep asserting a corrupt record is
+ * always quarantined-and-recomputed, never served wrong or crashed
+ * on — LRU eviction, log compaction, the wire protocol, the
+ * config-driven engine deadline-poll granularity, and an end-to-end
+ * daemon loop over a real Unix socket (admission, store hits,
+ * deadline enforcement on a hanging job, load shedding, drain).
+ */
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/machine.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/store.h"
+#include "util/json.h"
+#include "util/jsonl.h"
+
+namespace isrf {
+namespace {
+
+/** Temp file path removed on scope exit. */
+class TempFile
+{
+  public:
+    explicit TempFile(const char *tag)
+    {
+        path_ = ::testing::TempDir() + "isrf_service_" + tag + "_" +
+            std::to_string(::getpid());
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+bool
+writeRaw(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+std::string
+readRaw(const std::string &path)
+{
+    std::string out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+StoredResult
+makeResult(const std::string &workload, uint64_t tag)
+{
+    StoredResult r;
+    r.workload = workload;
+    r.machine = "Base";
+    r.status = RunStatus::Done;
+    JsonWriter w;
+    w.beginObject();
+    w.field("workload", workload);
+    w.field("cycles", tag * 1000 + 7);
+    w.field("correct", true);
+    w.endObject();
+    r.resultText = w.str();
+    return r;
+}
+
+// ----------------------------------------------------------------------
+// ResultStore basics
+// ----------------------------------------------------------------------
+
+TEST(ResultStore, MemoryOnlyPutGetAndCounters)
+{
+    ResultStore store;
+    ASSERT_TRUE(store.open("", /*maxBytes=*/0));
+    StoredResult in = makeResult("Sort", 1), out;
+    EXPECT_FALSE(store.get(42, out));
+    EXPECT_TRUE(store.put(42, in));
+    EXPECT_TRUE(store.contains(42));
+    ASSERT_TRUE(store.get(42, out));
+    EXPECT_EQ(out.resultText, in.resultText);
+    EXPECT_EQ(out.workload, "Sort");
+    const ResultStoreStats s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.puts, 1u);
+    EXPECT_FALSE(s.persistent);
+}
+
+TEST(ResultStore, PersistsAcrossReopen)
+{
+    TempFile tmp("reopen");
+    StoredResult a = makeResult("Sort", 1);
+    StoredResult b = makeResult("Filter", 2);
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.open(tmp.path(), 0));
+        EXPECT_TRUE(store.put(1, a));
+        EXPECT_TRUE(store.put(2, b));
+    }
+    ResultStore store;
+    ASSERT_TRUE(store.open(tmp.path(), 0));
+    const ResultStoreStats s = store.stats();
+    EXPECT_EQ(s.recoveredEntries, 2u);
+    EXPECT_EQ(s.quarantined, 0u);
+    EXPECT_FALSE(s.tornTailDropped);
+    StoredResult out;
+    ASSERT_TRUE(store.get(1, out));
+    EXPECT_EQ(out.resultText, a.resultText);
+    ASSERT_TRUE(store.get(2, out));
+    EXPECT_EQ(out.resultText, b.resultText);
+    EXPECT_EQ(out.status, RunStatus::Done);
+}
+
+TEST(ResultStore, ReplacingAPutKeepsOneLiveEntry)
+{
+    TempFile tmp("replace");
+    ResultStore store;
+    ASSERT_TRUE(store.open(tmp.path(), 0));
+    EXPECT_TRUE(store.put(9, makeResult("Sort", 1)));
+    StoredResult newer = makeResult("Sort", 2);
+    EXPECT_TRUE(store.put(9, newer));
+    EXPECT_EQ(store.stats().entries, 1u);
+    StoredResult out;
+    ASSERT_TRUE(store.get(9, out));
+    EXPECT_EQ(out.resultText, newer.resultText);
+    store.close();
+
+    // Recovery must also resolve to the later record.
+    ResultStore again;
+    ASSERT_TRUE(again.open(tmp.path(), 0));
+    EXPECT_EQ(again.stats().recoveredEntries, 1u);
+    ASSERT_TRUE(again.get(9, out));
+    EXPECT_EQ(out.resultText, newer.resultText);
+}
+
+TEST(ResultStore, TornTailIsTruncatedLikeJournalResume)
+{
+    TempFile tmp("torn");
+    StoredResult a = makeResult("Sort", 1);
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.open(tmp.path(), 0));
+        EXPECT_TRUE(store.put(1, a));
+    }
+    // Simulate a kill -9 mid-append: half a record, no newline.
+    std::string full = readRaw(tmp.path());
+    ASSERT_FALSE(full.empty());
+    writeRaw(tmp.path(), full + "{\"type\":\"put\",\"key\":2,\"wor");
+
+    ResultStore store;
+    ASSERT_TRUE(store.open(tmp.path(), 0));
+    const ResultStoreStats s = store.stats();
+    EXPECT_TRUE(s.tornTailDropped);
+    EXPECT_GT(s.tornBytesDropped, 0u);
+    EXPECT_EQ(s.recoveredEntries, 1u);
+    StoredResult out;
+    ASSERT_TRUE(store.get(1, out));
+    EXPECT_EQ(out.resultText, a.resultText);
+    // The torn bytes are gone from disk: the next append starts on a
+    // fresh line and a re-read is clean.
+    EXPECT_TRUE(store.put(2, makeResult("Filter", 2)));
+    store.close();
+    ResultStore again;
+    ASSERT_TRUE(again.open(tmp.path(), 0));
+    EXPECT_EQ(again.stats().recoveredEntries, 2u);
+    EXPECT_FALSE(again.stats().tornTailDropped);
+    EXPECT_EQ(again.stats().quarantined, 0u);
+}
+
+// The store-level crash-safety property, tested the same way the
+// journal reader is (test_jsonl.cc): no single corrupt byte anywhere
+// in the log may crash recovery, and — stronger than the journal,
+// which rejects interior corruption — every key must either verify
+// byte-identical or be quarantined and then accept a recompute. Wrong
+// bytes are never served.
+TEST(ResultStore, FlipEveryByteQuarantinesOrServesClean)
+{
+    TempFile tmp("flip");
+    std::map<uint64_t, std::string> expect;
+    {
+        ResultStore store;
+        ASSERT_TRUE(store.open(tmp.path(), 0));
+        for (uint64_t k = 1; k <= 4; k++) {
+            StoredResult r = makeResult("Sort", k);
+            expect[k] = r.resultText;
+            ASSERT_TRUE(store.put(k, r));
+        }
+    }
+    const std::string full = readRaw(tmp.path());
+    ASSERT_GT(full.size(), 0u);
+
+    for (size_t off = 0; off < full.size(); off++) {
+        std::string bad = full;
+        bad[off] = static_cast<char>(bad[off] ^ 0x20);
+        if (bad[off] == full[off])
+            continue;  // degenerate flip
+        ASSERT_TRUE(writeRaw(tmp.path(), bad));
+
+        ResultStore store;
+        ASSERT_TRUE(store.open(tmp.path(), 0))
+            << "open crashed/errored with byte " << off << " flipped";
+        size_t clean = 0;
+        for (const auto &kv : expect) {
+            StoredResult out;
+            if (store.get(kv.first, out)) {
+                EXPECT_EQ(out.resultText, kv.second)
+                    << "corrupt bytes served for key " << kv.first
+                    << " with byte " << off << " flipped";
+                clean++;
+            } else {
+                // Quarantined: a recompute must take.
+                StoredResult fresh = makeResult("Sort", kv.first);
+                EXPECT_TRUE(store.put(kv.first, fresh));
+                ASSERT_TRUE(store.get(kv.first, out));
+                EXPECT_EQ(out.resultText, fresh.resultText);
+            }
+        }
+        // One byte flip touches one line (or splices two): at least
+        // two of the four records must still verify clean.
+        EXPECT_GE(clean, 2u) << "byte " << off;
+    }
+}
+
+TEST(ResultStore, LruEvictionBoundsLiveBytes)
+{
+    ResultStore store;
+    // ~120 bytes/record: budget fits roughly 3.
+    ASSERT_TRUE(store.open("", /*maxBytes=*/400));
+    for (uint64_t k = 1; k <= 8; k++)
+        EXPECT_TRUE(store.put(k, makeResult("Sort", k)));
+    const ResultStoreStats s = store.stats();
+    EXPECT_LE(s.liveBytes, 400u);
+    EXPECT_GT(s.evicted, 0u);
+    // Newest survives, oldest is gone.
+    EXPECT_TRUE(store.contains(8));
+    EXPECT_FALSE(store.contains(1));
+
+    // A get() refreshes recency: touch the coldest survivor, insert,
+    // and the touched key must outlive the untouched one.
+    uint64_t coldest = 0;
+    for (uint64_t k = 1; k <= 8; k++)
+        if (store.contains(k)) {
+            coldest = k;
+            break;
+        }
+    ASSERT_NE(coldest, 0u);
+    StoredResult out;
+    ASSERT_TRUE(store.get(coldest, out));
+    // One insert evicts the now-coldest untouched survivor first; the
+    // just-touched key is the most recent of the old entries.
+    EXPECT_TRUE(store.put(100, makeResult("Sort", 100)));
+    EXPECT_TRUE(store.contains(coldest));
+}
+
+TEST(ResultStore, CompactionScrubsDeadRecordsAndSurvivesReopen)
+{
+    TempFile tmp("compact");
+    ResultStore store;
+    ASSERT_TRUE(store.open(tmp.path(), 0));
+    // Overwrite one key many times: the log accumulates dead records
+    // until compaction rewrites it near its live size.
+    for (uint64_t i = 0; i < 200; i++)
+        ASSERT_TRUE(store.put(5, makeResult("Sort", i)));
+    const ResultStoreStats s = store.stats();
+    EXPECT_GT(s.compactions, 0u);
+    EXPECT_LE(s.logBytes, 2 * s.liveBytes + 4096 + s.liveBytes);
+    store.close();
+
+    ResultStore again;
+    ASSERT_TRUE(again.open(tmp.path(), 0));
+    EXPECT_EQ(again.stats().recoveredEntries, 1u);
+    StoredResult out;
+    ASSERT_TRUE(again.get(5, out));
+    EXPECT_EQ(out.resultText, makeResult("Sort", 199).resultText);
+}
+
+TEST(ResultStore, ChecksumCoversKeyStatusAndPayload)
+{
+    StoredResult r = makeResult("Sort", 1);
+    const uint64_t base = ResultStore::checksum(1, r);
+    EXPECT_NE(base, ResultStore::checksum(2, r));
+    StoredResult changed = r;
+    changed.status = RunStatus::Failed;
+    EXPECT_NE(base, ResultStore::checksum(1, changed));
+    changed = r;
+    changed.resultText[0] ^= 1;
+    EXPECT_NE(base, ResultStore::checksum(1, changed));
+    changed = r;
+    changed.workload = "Filter";
+    EXPECT_NE(base, ResultStore::checksum(1, changed));
+}
+
+// ----------------------------------------------------------------------
+// Wire protocol
+// ----------------------------------------------------------------------
+
+TEST(ServiceProtocol, ParsesRunRequest)
+{
+    ServiceRequest req;
+    std::string err;
+    ASSERT_TRUE(parseServiceRequest(
+        "{\"op\":\"run\",\"workload\":\"FFT 2D\",\"machine\":"
+        "\"ISRF1\",\"repeats\":3,\"seed\":77,\"deadline_ms\":250,"
+        "\"retries\":2,\"id\":\"r1\"}", req, err)) << err;
+    EXPECT_EQ(req.op, "run");
+    EXPECT_EQ(req.workload, "FFT 2D");
+    EXPECT_EQ(req.machine, "ISRF1");
+    EXPECT_EQ(req.repeats, 3u);
+    EXPECT_EQ(req.seed, 77u);
+    EXPECT_DOUBLE_EQ(req.deadlineMs, 250.0);
+    EXPECT_EQ(req.retries, 2);
+    EXPECT_EQ(req.id, "r1");
+}
+
+TEST(ServiceProtocol, RejectsMalformedRequests)
+{
+    ServiceRequest req;
+    std::string err;
+    EXPECT_FALSE(parseServiceRequest("not json", req, err));
+    EXPECT_FALSE(parseServiceRequest("{\"no_op\":1}", req, err));
+    EXPECT_FALSE(parseServiceRequest(
+        "{\"op\":\"transmogrify\"}", req, err));
+    EXPECT_FALSE(parseServiceRequest("{\"op\":\"run\"}", req, err));
+    EXPECT_FALSE(parseServiceRequest(
+        "{\"op\":\"run\",\"workload\":\"Sort\",\"machine\":\"Base\","
+        "\"repeats\":0}", req, err));
+    // Defaults apply when optional fields are absent.
+    ASSERT_TRUE(parseServiceRequest(
+        "{\"op\":\"run\",\"workload\":\"Sort\",\"machine\":\"Base\"}",
+        req, err)) << err;
+    EXPECT_EQ(req.retries, -1);
+    EXPECT_DOUBLE_EQ(req.deadlineMs, 0.0);
+}
+
+TEST(ServiceProtocol, MachineKindRoundTrips)
+{
+    for (MachineKind k : {MachineKind::Base, MachineKind::ISRF1,
+                          MachineKind::ISRF4, MachineKind::Cache}) {
+        MachineKind back;
+        ASSERT_TRUE(machineKindFromName(machineKindName(k), back));
+        EXPECT_EQ(back, k);
+    }
+    MachineKind out;
+    EXPECT_FALSE(machineKindFromName("Turbo", out));
+}
+
+TEST(ServiceProtocol, ResultResponseSplicesBytesVerbatim)
+{
+    const std::string result =
+        "{\"workload\":\"Sort\",\"cycles\":123,\"nested\":{\"a\":[1,"
+        "2]}}";
+    const std::string line = resultResponseJson(
+        "id7", 0xabcdef, true, "done", 2, 0.5, result);
+    ASSERT_TRUE(jsonValid(line)) << line;
+    JsonLineView v(line);
+    ASSERT_TRUE(v.valid());
+    bool ok = false, cached = false;
+    ASSERT_TRUE(v.getBool("ok", ok));
+    EXPECT_TRUE(ok);
+    ASSERT_TRUE(v.getBool("cached", cached));
+    EXPECT_TRUE(cached);
+    std::string raw;
+    ASSERT_TRUE(v.getRaw("result", raw));
+    EXPECT_EQ(raw, result);  // byte-identical splice
+    std::string key;
+    ASSERT_TRUE(v.getString("key", key));
+    EXPECT_EQ(key, "0000000000abcdef");
+}
+
+// ----------------------------------------------------------------------
+// Engine deadline-poll granularity (MachineConfig::deadlineCheckCycles)
+// ----------------------------------------------------------------------
+
+TEST(DeadlinePolling, EngineKnobClampsAndResets)
+{
+    Engine e;
+    EXPECT_EQ(e.deadlineCheckCycles(), Engine::kDeadlineCheckCycles);
+    e.setDeadlineCheckCycles(64);
+    EXPECT_EQ(e.deadlineCheckCycles(), 64u);
+    e.setDeadlineCheckCycles(0);  // 0 would never poll: clamp to 1
+    EXPECT_EQ(e.deadlineCheckCycles(), 1u);
+}
+
+TEST(DeadlinePolling, ConfigKnobReachesTheMachineEngine)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.deadlineCheckCycles = 128;
+    Machine m;
+    m.init(cfg);
+    EXPECT_EQ(m.engine().deadlineCheckCycles(), 128u);
+}
+
+TEST(DeadlinePolling, ExpiredDeadlineObservedWithinGranularity)
+{
+    // With an already-expired deadline, pollCancel must report
+    // TimedOut within one granularity window of cycles.
+    for (Cycle gran : {Cycle(1), Cycle(16)}) {
+        Engine e;
+        e.setDeadlineCheckCycles(gran);
+        CancelToken tok;
+        tok.setTimeout(1e-9);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        e.setCancel(&tok);
+        RunResult r = e.runUntil([] { return false; }, 10 * gran);
+        EXPECT_EQ(r.status, RunStatus::TimedOut);
+        EXPECT_LE(r.cycles, gran);
+    }
+}
+
+// ----------------------------------------------------------------------
+// End-to-end daemon loop over a real Unix socket
+// ----------------------------------------------------------------------
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(const std::string &path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~ServiceClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+    bool connected() const { return fd_ >= 0; }
+
+    /** Send one request line, wait for one response line. */
+    bool
+    roundTrip(const std::string &req, std::string &resp)
+    {
+        std::string out = req + "\n";
+        if (::send(fd_, out.data(), out.size(), 0) !=
+            static_cast<ssize_t>(out.size()))
+            return false;
+        for (;;) {
+            size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                resp = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[8192];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+std::string
+socketPath(const char *tag)
+{
+    // Keep it short: sun_path is ~108 bytes.
+    return "/tmp/isrf_svc_" + std::to_string(::getpid()) + "_" + tag +
+        ".sock";
+}
+
+std::string
+runRequest(const std::string &workload, const std::string &machine,
+           uint64_t seed, double deadlineMs = 0.0)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("op", std::string("run"));
+    w.field("workload", workload);
+    w.field("machine", machine);
+    w.field("repeats", static_cast<uint64_t>(1));
+    w.field("seed", seed);
+    if (deadlineMs > 0.0)
+        w.field("deadline_ms", deadlineMs);
+    w.endObject();
+    return w.str();
+}
+
+TEST(SweepService, ServesComputesThenByteIdenticalStoreHits)
+{
+    const std::string sock = socketPath("hits");
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 2;
+    cfg.allowTestJobs = true;
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+
+    ServiceClient c(sock);
+    ASSERT_TRUE(c.connected());
+    std::string resp;
+
+    // Liveness first.
+    ASSERT_TRUE(c.roundTrip("{\"op\":\"ping\"}", resp));
+    EXPECT_NE(resp.find("\"pong\""), std::string::npos) << resp;
+
+    // Cold: computed.
+    ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Base", 7), resp));
+    JsonLineView v1(resp);
+    ASSERT_TRUE(v1.valid()) << resp;
+    bool ok = false, cached = true;
+    ASSERT_TRUE(v1.getBool("ok", ok));
+    ASSERT_TRUE(ok) << resp;
+    ASSERT_TRUE(v1.getBool("cached", cached));
+    EXPECT_FALSE(cached);
+    std::string status, result1;
+    ASSERT_TRUE(v1.getString("status", status));
+    EXPECT_EQ(status, "done");
+    ASSERT_TRUE(v1.getRaw("result", result1));
+
+    // Hot: served from the store, byte-identical result.
+    ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Base", 7), resp));
+    JsonLineView v2(resp);
+    ASSERT_TRUE(v2.getBool("cached", cached));
+    EXPECT_TRUE(cached);
+    std::string result2;
+    ASSERT_TRUE(v2.getRaw("result", result2));
+    EXPECT_EQ(result2, result1);
+
+    const ServiceCounters sc = svc.counters();
+    EXPECT_EQ(sc.computed, 1u);
+    EXPECT_EQ(sc.storeHits, 1u);
+
+    // Unknown names are structured errors, not closed connections.
+    ASSERT_TRUE(c.roundTrip(runRequest("NoSuch", "Base", 1), resp));
+    EXPECT_NE(resp.find("unknown_workload"), std::string::npos);
+    ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Turbo", 1), resp));
+    EXPECT_NE(resp.find("unknown_machine"), std::string::npos);
+    ASSERT_TRUE(c.roundTrip("garbage", resp));
+    EXPECT_NE(resp.find("bad_request"), std::string::npos);
+
+    svc.requestStop();
+    svc.shutdown();
+}
+
+TEST(SweepService, HangingJobIsBouncedByDeadlineWithoutWedgingPool)
+{
+    const std::string sock = socketPath("hang");
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 1;  // a wedged pool would be unmissable
+    cfg.allowTestJobs = true;
+    cfg.retries = 0;
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+
+    ServiceClient c(sock);
+    ASSERT_TRUE(c.connected());
+    std::string resp;
+    ASSERT_TRUE(c.roundTrip(
+        runRequest(SweepService::kHangWorkload, "Base", 1, 200.0),
+        resp));
+    JsonLineView v(resp);
+    std::string status;
+    ASSERT_TRUE(v.getString("status", status)) << resp;
+    EXPECT_EQ(status, "timed_out");
+
+    // The single worker must be free again: a real job completes.
+    ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Base", 3), resp));
+    JsonLineView v2(resp);
+    ASSERT_TRUE(v2.getString("status", status)) << resp;
+    EXPECT_EQ(status, "done");
+    EXPECT_EQ(svc.counters().timedOut, 1u);
+
+    svc.requestStop();
+    svc.shutdown();
+}
+
+TEST(SweepService, OverloadShedsExplicitlyAndDrainRefusesNewWork)
+{
+    const std::string sock = socketPath("shed");
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 1;
+    cfg.queueMax = 1;
+    cfg.allowTestJobs = true;
+    cfg.retries = 0;
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+
+    // Occupy the worker and the one queue slot with hanging jobs
+    // (distinct seeds = distinct fingerprints, so no coalescing). The
+    // deadlines are long so slow CI scheduling cannot retire them
+    // mid-test; requestStop() releases them at the end.
+    std::vector<std::thread> busy;
+    std::vector<std::string> busyResp(2);
+    struct Joiner
+    {
+        std::vector<std::thread> &ts;
+        SweepService &svc;
+        ~Joiner()
+        {
+            svc.requestStop();  // unblock hanging jobs on any exit path
+            for (auto &t : ts)
+                if (t.joinable())
+                    t.join();
+        }
+    } joiner{busy, svc};
+    auto submitHang = [&](int i) {
+        busy.emplace_back([&, i] {
+            ServiceClient bc(sock);
+            if (bc.connected())
+                bc.roundTrip(runRequest(SweepService::kHangWorkload,
+                                        "Base", 100 + i, 30000.0),
+                             busyResp[i]);
+        });
+    };
+    // First hanger: wait until the worker has picked it up (computed
+    // counter), so the queue slot is genuinely free for the second —
+    // admission counts queued jobs, not executing ones.
+    submitHang(0);
+    for (int spin = 0;
+         spin < 500 && svc.counters().computed < 1; spin++)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(svc.counters().computed, 1u);
+    // Second hanger takes the one queue slot.
+    submitHang(1);
+    for (int spin = 0; spin < 500 && svc.pendingJobs() < 2; spin++)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(svc.pendingJobs(), 2u);
+
+    ServiceClient c(sock);
+    ASSERT_TRUE(c.connected());
+    std::string resp;
+    ASSERT_TRUE(c.roundTrip(
+        runRequest(SweepService::kHangWorkload, "Base", 200, 30000.0),
+        resp));
+    EXPECT_NE(resp.find("\"overloaded\""), std::string::npos) << resp;
+    EXPECT_GE(svc.counters().rejectedOverload, 1u);
+
+    // Drain: new run requests are refused with a structured error
+    // while the admitted jobs stay in flight.
+    svc.requestDrain();
+    ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Base", 5), resp));
+    EXPECT_NE(resp.find("\"draining\""), std::string::npos) << resp;
+    EXPECT_EQ(svc.pendingJobs(), 2u);
+
+    // Stop cancels the hangers; their waiters get structured errors
+    // (cancelled — or timed_out if the deadline raced the cancel).
+    svc.requestStop();
+    for (auto &t : busy)
+        t.join();
+    for (const std::string &r : busyResp)
+        EXPECT_TRUE(r.find("cancelled") != std::string::npos ||
+                    r.find("timed_out") != std::string::npos) << r;
+    svc.shutdown();
+    EXPECT_EQ(svc.pendingJobs(), 0u);
+}
+
+TEST(SweepService, CoalescesIdenticalInflightRequests)
+{
+    const std::string sock = socketPath("coalesce");
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 1;
+    cfg.allowTestJobs = true;
+    cfg.retries = 0;
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+
+    // Two identical hanging requests: single-flight means one compute
+    // (computed == 1), both waiters get the same outcome. Admit the
+    // first, wait for the second to attach to it (coalesced counter),
+    // then cancel to release both — no timing-sensitive deadlines.
+    std::vector<std::thread> pair;
+    std::vector<std::string> resp(2);
+    struct Joiner
+    {
+        std::vector<std::thread> &ts;
+        SweepService &svc;
+        ~Joiner()
+        {
+            svc.requestStop();
+            for (auto &t : ts)
+                if (t.joinable())
+                    t.join();
+        }
+    } joiner{pair, svc};
+    pair.emplace_back([&] {
+        ServiceClient bc(sock);
+        if (bc.connected())
+            bc.roundTrip(runRequest(SweepService::kHangWorkload,
+                                    "Base", 300, 30000.0),
+                         resp[0]);
+    });
+    for (int spin = 0; spin < 500 && svc.pendingJobs() < 1; spin++)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(svc.pendingJobs(), 1u);
+    pair.emplace_back([&] {
+        ServiceClient bc(sock);
+        if (bc.connected())
+            bc.roundTrip(runRequest(SweepService::kHangWorkload,
+                                    "Base", 300, 30000.0),
+                         resp[1]);
+    });
+    for (int spin = 0;
+         spin < 500 && svc.counters().coalesced < 1; spin++)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_EQ(svc.counters().coalesced, 1u);
+
+    svc.requestStop();
+    for (auto &t : pair)
+        t.join();
+    for (const std::string &r : resp)
+        EXPECT_TRUE(r.find("cancelled") != std::string::npos ||
+                    r.find("timed_out") != std::string::npos) << r;
+    const ServiceCounters sc = svc.counters();
+    EXPECT_EQ(sc.computed, 1u);
+    EXPECT_EQ(sc.coalesced, 1u);
+    svc.shutdown();
+}
+
+TEST(SweepService, StoreHitsSurviveRestartByteIdentically)
+{
+    const std::string sock = socketPath("restart");
+    TempFile storeFile("restart_store");
+    std::string result1;
+    {
+        ServiceConfig cfg;
+        cfg.socketPath = sock;
+        cfg.workers = 2;
+        cfg.storePath = storeFile.path();
+        SweepService svc;
+        ASSERT_TRUE(svc.start(cfg));
+        ServiceClient c(sock);
+        ASSERT_TRUE(c.connected());
+        std::string resp;
+        ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Base", 11),
+                                resp));
+        JsonLineView v(resp);
+        ASSERT_TRUE(v.getRaw("result", result1)) << resp;
+        svc.requestStop();
+        svc.shutdown();
+    }
+    // "Restart" the daemon on the same store file: the result must be
+    // served from the recovered store without recomputing.
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 2;
+    cfg.storePath = storeFile.path();
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+    EXPECT_EQ(svc.store().stats().recoveredEntries, 1u);
+    ServiceClient c(sock);
+    ASSERT_TRUE(c.connected());
+    std::string resp;
+    ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Base", 11), resp));
+    JsonLineView v(resp);
+    bool cached = false;
+    ASSERT_TRUE(v.getBool("cached", cached));
+    EXPECT_TRUE(cached);
+    std::string result2;
+    ASSERT_TRUE(v.getRaw("result", result2));
+    EXPECT_EQ(result2, result1);
+    EXPECT_EQ(svc.counters().computed, 0u);
+
+    // Stats endpoint exposes the attestation counters.
+    ASSERT_TRUE(c.roundTrip("{\"op\":\"stats\"}", resp));
+    JsonLineView sv(resp);
+    ASSERT_TRUE(sv.valid()) << resp;
+    std::string svcRaw;
+    ASSERT_TRUE(sv.getRaw("service", svcRaw));
+    JsonLineView inner(svcRaw);
+    uint64_t computed = 99, hits = 0;
+    ASSERT_TRUE(inner.getU64("computed", computed));
+    EXPECT_EQ(computed, 0u);
+    ASSERT_TRUE(inner.getU64("store_hits", hits));
+    EXPECT_EQ(hits, 1u);
+
+    svc.requestStop();
+    svc.shutdown();
+}
+
+} // namespace
+} // namespace isrf

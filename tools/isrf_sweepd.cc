@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Sweep service daemon: newline-JSON simulation jobs over a socket.
+ *
+ *   isrf_sweepd --socket /tmp/isrf.sock [--tcp-port N] [--workers N]
+ *               [--queue-max N] [--deadline-ms MS] [--max-deadline-ms MS]
+ *               [--retries N] [--store FILE] [--store-max-bytes N]
+ *               [--allow-test-jobs] [--verbose]
+ *
+ * See src/service/protocol.h for the wire protocol and
+ * src/service/server.h for the serving semantics (admission control,
+ * per-request deadlines, retry, single-flight, result store, drain).
+ *
+ * Signals: the first SIGTERM/SIGINT drains gracefully — stop
+ * accepting, refuse new run requests, finish every admitted job, flush
+ * the store, exit 0. A second signal hard-stops: in-flight jobs are
+ * cancelled through the stop token and complete as Cancelled. kill -9
+ * is the case the store is built for: recovery truncates a torn tail
+ * and re-serves everything already fsync'd.
+ *
+ * Prints "isrf_sweepd: ready on <socket>" to stdout once listening —
+ * scripts (and the CI service-resilience job) wait for that line.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "util/log.h"
+
+using namespace isrf;
+
+namespace {
+
+volatile std::sig_atomic_t gSignals = 0;
+
+void
+onTerminationSignal(int)
+{
+    gSignals++;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s --socket <path> [options]\n"
+        "  --socket <path>        Unix-domain socket to listen on\n"
+        "  --tcp-port <n>         also listen on 127.0.0.1:<n>\n"
+        "  --workers <n>          worker threads (default: cores)\n"
+        "  --queue-max <n>        admission queue bound (default 64)\n"
+        "  --deadline-ms <ms>     default per-request deadline "
+        "(0 = none)\n"
+        "  --max-deadline-ms <ms> clamp client deadlines (0 = none)\n"
+        "  --retries <n>          retry budget for stalled/timed-out "
+        "attempts (default 1)\n"
+        "  --store <file>         result-store log (default: "
+        "in-memory only)\n"
+        "  --store-max-bytes <n>  store LRU budget (default 64 MiB)\n"
+        "  --allow-test-jobs      accept the synthetic '__hang__' "
+        "workload\n"
+        "  --verbose              log each request to stderr\n",
+        argv0);
+}
+
+bool
+parseU64(const char *s, uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 10);
+    return end && *end == '\0' && end != s;
+}
+
+bool
+parseNonNegDouble(const char *s, double &out)
+{
+    char *end = nullptr;
+    out = std::strtod(s, &end);
+    return end && *end == '\0' && end != s && out >= 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServiceConfig cfg;
+    for (int i = 1; i < argc; i++) {
+        std::string s = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s expects a value\n", flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        uint64_t u = 0;
+        if (s == "--socket") {
+            cfg.socketPath = next("--socket");
+        } else if (s == "--tcp-port") {
+            if (!parseU64(next("--tcp-port"), u) || u == 0 ||
+                u > 65535)
+                fatal("--tcp-port expects a port number");
+            cfg.tcpPort = static_cast<int>(u);
+        } else if (s == "--workers") {
+            if (!parseU64(next("--workers"), u))
+                fatal("--workers expects a count");
+            cfg.workers = static_cast<unsigned>(u);
+        } else if (s == "--queue-max") {
+            if (!parseU64(next("--queue-max"), u) || u == 0)
+                fatal("--queue-max expects a positive count");
+            cfg.queueMax = u;
+        } else if (s == "--deadline-ms") {
+            if (!parseNonNegDouble(next("--deadline-ms"),
+                                   cfg.defaultDeadlineMs))
+                fatal("--deadline-ms expects milliseconds");
+        } else if (s == "--max-deadline-ms") {
+            if (!parseNonNegDouble(next("--max-deadline-ms"),
+                                   cfg.maxDeadlineMs))
+                fatal("--max-deadline-ms expects milliseconds");
+        } else if (s == "--retries") {
+            if (!parseU64(next("--retries"), u) || u > 16)
+                fatal("--retries expects 0..16");
+            cfg.retries = static_cast<uint32_t>(u);
+        } else if (s == "--store") {
+            cfg.storePath = next("--store");
+        } else if (s == "--store-max-bytes") {
+            if (!parseU64(next("--store-max-bytes"), u))
+                fatal("--store-max-bytes expects a byte count");
+            cfg.storeMaxBytes = u;
+        } else if (s == "--allow-test-jobs") {
+            cfg.allowTestJobs = true;
+        } else if (s == "--verbose") {
+            cfg.verbose = true;
+        } else if (s == "--help" || s == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", s.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (cfg.socketPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    SweepService svc;
+    if (!svc.start(cfg))
+        return 1;
+
+    std::signal(SIGTERM, onTerminationSignal);
+    std::signal(SIGINT, onTerminationSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::printf("isrf_sweepd: ready on %s\n", cfg.socketPath.c_str());
+    std::fflush(stdout);
+
+    bool drainAnnounced = false;
+    for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (gSignals >= 2) {
+            std::fprintf(stderr, "isrf_sweepd: second signal: "
+                         "cancelling in-flight jobs\n");
+            svc.requestStop();
+            break;
+        }
+        if (gSignals >= 1) {
+            if (!drainAnnounced) {
+                std::fprintf(stderr, "isrf_sweepd: draining (%zu "
+                             "job(s) in flight)\n", svc.pendingJobs());
+                drainAnnounced = true;
+            }
+            svc.requestDrain();
+            if (svc.pendingJobs() == 0)
+                break;
+        }
+    }
+    svc.shutdown();
+
+    const ServiceCounters c = svc.counters();
+    std::fprintf(stderr,
+                 "isrf_sweepd: exiting: %llu request(s), %llu "
+                 "computed, %llu store hit(s), %llu shed, %llu timed "
+                 "out\n",
+                 static_cast<unsigned long long>(c.requests),
+                 static_cast<unsigned long long>(c.computed),
+                 static_cast<unsigned long long>(c.storeHits),
+                 static_cast<unsigned long long>(c.rejectedOverload),
+                 static_cast<unsigned long long>(c.timedOut));
+    return 0;
+}

@@ -1,0 +1,527 @@
+/**
+ * @file
+ * Load generator + latency harness for the sweep service daemon.
+ *
+ *   sweep_loadgen --socket /tmp/isrf.sock [--requests N]
+ *                 [--connections C] [--hot N] [--hot-frac F]
+ *                 [--workloads CSV] [--machines CSV] [--repeats N]
+ *                 [--seed S] [--deadline-ms MS] [--retries N]
+ *                 [--json FILE] [--dump FILE] [--quiet]
+ *
+ * Replays a *deterministic* request stream (a function of --seed and
+ * the shape flags alone) of mixed hot and cold jobs against a running
+ * isrf_sweepd: hot requests draw their job seed from a small set, so
+ * after first touch they are store hits; cold requests use a unique
+ * seed each, so every one simulates. It reports throughput and
+ * p50/p99/p999 latency split by served-from-store vs computed, writes
+ * an isrf-perf-record-v1 record (--json) that tools/perf_diff can
+ * gate on, and dumps every received result keyed by job fingerprint
+ * (--dump) so two runs — e.g. before and after a daemon kill -9 — can
+ * be compared byte-for-byte with cmp(1).
+ */
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/jsonl.h"
+#include "util/log.h"
+#include "util/random.h"
+
+using namespace isrf;
+
+namespace {
+
+struct Args
+{
+    std::string socketPath;
+    size_t requests = 200;
+    unsigned connections = 4;
+    size_t hotSet = 4;
+    double hotFrac = 0.8;
+    std::vector<std::string> workloads{"FFT 2D"};
+    std::vector<std::string> machines{"Base"};
+    uint32_t repeats = 1;
+    uint64_t seed = 1;
+    double deadlineMs = 0.0;
+    int64_t retries = -1;
+    std::string jsonPath;
+    std::string dumpPath;
+    bool quiet = false;
+};
+
+/** One planned request (built up front; deterministic). */
+struct PlannedRequest
+{
+    std::string workload;
+    std::string machine;
+    uint64_t jobSeed = 0;
+};
+
+/** One finished request. */
+struct Sample
+{
+    size_t index = 0;
+    double seconds = 0.0;
+    bool ok = false;
+    bool cached = false;
+    std::string status;      ///< "done", ..., or the error code
+    std::string key;         ///< fingerprint hex (ok responses)
+    std::string resultText;  ///< raw result bytes (ok responses)
+    uint64_t simCycles = 0;
+};
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos <= s.size()) {
+        size_t c = s.find(',', pos);
+        if (c == std::string::npos)
+            c = s.size();
+        if (c > pos)
+            out.push_back(s.substr(pos, c - pos));
+        pos = c + 1;
+    }
+    return out;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+        "usage: %s --socket <path> [options]\n"
+        "  --requests <n>     total requests (default 200)\n"
+        "  --connections <n>  concurrent client connections "
+        "(default 4)\n"
+        "  --hot <n>          size of the hot job set (default 4)\n"
+        "  --hot-frac <f>     fraction of requests drawn from the hot "
+        "set (default 0.8)\n"
+        "  --workloads <csv>  workload names (default 'FFT 2D')\n"
+        "  --machines <csv>   machine kinds (default Base)\n"
+        "  --repeats <n>      per-job repeats (default 1)\n"
+        "  --seed <n>         stream seed; same seed = same request "
+        "stream (default 1)\n"
+        "  --deadline-ms <ms> per-request deadline (0 = server "
+        "default)\n"
+        "  --retries <n>      per-request retry budget (-1 = server "
+        "default)\n"
+        "  --json <file>      write an isrf-perf-record-v1 record\n"
+        "  --dump <file>      write key -> result bytes, sorted "
+        "(for cmp)\n"
+        "  --quiet            summary only\n",
+        argv0);
+}
+
+int
+connectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Read one '\n'-terminated line (buffered across calls). */
+bool
+recvLine(int fd, std::string &buf, std::string &line)
+{
+    for (;;) {
+        size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            line = buf.substr(0, nl);
+            buf.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[1 << 14];
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+std::string
+requestJson(const Args &args, const PlannedRequest &r)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("op", std::string("run"));
+    w.field("workload", r.workload);
+    w.field("machine", r.machine);
+    w.field("repeats", static_cast<uint64_t>(args.repeats));
+    w.field("seed", r.jobSeed);
+    if (args.deadlineMs > 0.0)
+        w.field("deadline_ms", args.deadlineMs);
+    if (args.retries >= 0)
+        w.field("retries", static_cast<uint64_t>(args.retries));
+    w.endObject();
+    return w.str();
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    size_t idx = static_cast<size_t>(q *
+        static_cast<double>(sorted.size()));
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void
+printClass(const char *label, std::vector<double> lat)
+{
+    std::sort(lat.begin(), lat.end());
+    std::printf("  %-8s %6zu  p50 %8.2fms  p99 %8.2fms  "
+                "p999 %8.2fms\n",
+                label, lat.size(), percentile(lat, 0.50) * 1e3,
+                percentile(lat, 0.99) * 1e3,
+                percentile(lat, 0.999) * 1e3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; i++) {
+        std::string s = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s expects a value\n", flag);
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (s == "--socket") {
+            args.socketPath = next("--socket");
+        } else if (s == "--requests") {
+            args.requests = std::strtoull(next("--requests"), nullptr,
+                                          10);
+        } else if (s == "--connections") {
+            args.connections = static_cast<unsigned>(
+                std::strtoul(next("--connections"), nullptr, 10));
+        } else if (s == "--hot") {
+            args.hotSet = std::strtoull(next("--hot"), nullptr, 10);
+        } else if (s == "--hot-frac") {
+            args.hotFrac = std::strtod(next("--hot-frac"), nullptr);
+        } else if (s == "--workloads") {
+            args.workloads = splitCsv(next("--workloads"));
+        } else if (s == "--machines") {
+            args.machines = splitCsv(next("--machines"));
+        } else if (s == "--repeats") {
+            args.repeats = static_cast<uint32_t>(
+                std::strtoul(next("--repeats"), nullptr, 10));
+        } else if (s == "--seed") {
+            args.seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (s == "--deadline-ms") {
+            args.deadlineMs = std::strtod(next("--deadline-ms"),
+                                          nullptr);
+        } else if (s == "--retries") {
+            args.retries = std::strtoll(next("--retries"), nullptr,
+                                        10);
+        } else if (s == "--json") {
+            args.jsonPath = next("--json");
+        } else if (s == "--dump") {
+            args.dumpPath = next("--dump");
+        } else if (s == "--quiet") {
+            args.quiet = true;
+        } else if (s == "--help" || s == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", s.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (args.socketPath.empty() || args.requests == 0 ||
+        args.connections == 0 || args.workloads.empty() ||
+        args.machines.empty() || args.hotSet == 0) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    // ---- plan the stream (deterministic in --seed) -----------------
+    // Hot requests reuse one of `hotSet` (workload, machine, seed)
+    // combos; cold requests get a unique seed, so each simulates once.
+    std::vector<PlannedRequest> plan(args.requests);
+    Rng rng(args.seed);
+    for (size_t i = 0; i < args.requests; i++) {
+        PlannedRequest &r = plan[i];
+        if (rng.uniform() < args.hotFrac) {
+            uint64_t h = rng.below(args.hotSet);
+            r.workload = args.workloads[h % args.workloads.size()];
+            r.machine = args.machines[h % args.machines.size()];
+            r.jobSeed = 1000 + h;
+        } else {
+            r.workload =
+                args.workloads[rng.below(args.workloads.size())];
+            r.machine =
+                args.machines[rng.below(args.machines.size())];
+            r.jobSeed = (1ull << 32) + i;
+        }
+    }
+
+    // ---- fire it ---------------------------------------------------
+    std::vector<Sample> samples(args.requests);
+    std::atomic<size_t> connectFailures{0};
+    auto t0 = std::chrono::steady_clock::now();
+
+    auto client = [&](unsigned shard) {
+        int fd = connectUnix(args.socketPath);
+        if (fd < 0) {
+            connectFailures.fetch_add(1);
+            return;
+        }
+        std::string rxbuf, line;
+        for (size_t i = shard; i < args.requests;
+             i += args.connections) {
+            Sample &smp = samples[i];
+            smp.index = i;
+            const std::string req = requestJson(args, plan[i]) + "\n";
+            auto rt0 = std::chrono::steady_clock::now();
+            if (!sendAll(fd, req) || !recvLine(fd, rxbuf, line)) {
+                smp.status = "connection_lost";
+                break;
+            }
+            smp.seconds = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - rt0).count();
+            JsonLineView v(line);
+            bool ok = false;
+            if (!v.valid() || !v.getBool("ok", ok)) {
+                smp.status = "bad_response";
+                continue;
+            }
+            if (!ok) {
+                v.getString("error", smp.status);
+                continue;
+            }
+            smp.ok = true;
+            v.getBool("cached", smp.cached);
+            v.getString("status", smp.status);
+            v.getString("key", smp.key);
+            if (v.getRaw("result", smp.resultText)) {
+                JsonLineView res(smp.resultText);
+                res.getU64("cycles", smp.simCycles);
+            }
+        }
+        ::close(fd);
+    };
+
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < args.connections; c++)
+        threads.emplace_back(client, c);
+    for (auto &t : threads)
+        t.join();
+    const double wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+
+    // ---- aggregate -------------------------------------------------
+    std::vector<double> hitLat, missLat;
+    std::map<std::string, uint64_t> errors;  // code -> count
+    size_t okCount = 0, notDone = 0;
+    double sumSeconds = 0.0;
+    uint64_t coldCycles = 0;
+    double coldSeconds = 0.0;
+    // per workload/machine cold + hit means for the perf record
+    struct ComboAgg { double s = 0; size_t n = 0; };
+    std::map<std::string, ComboAgg> coldCombo, hitCombo;
+    for (const Sample &smp : samples) {
+        if (!smp.ok) {
+            if (!smp.status.empty())
+                errors[smp.status]++;
+            continue;
+        }
+        okCount++;
+        sumSeconds += smp.seconds;
+        if (smp.status != "done")
+            notDone++;
+        const std::string combo = plan[smp.index].workload + "/" +
+            plan[smp.index].machine;
+        if (smp.cached) {
+            hitLat.push_back(smp.seconds);
+            hitCombo[combo].s += smp.seconds;
+            hitCombo[combo].n++;
+        } else {
+            missLat.push_back(smp.seconds);
+            coldCycles += smp.simCycles;
+            coldSeconds += smp.seconds;
+            coldCombo[combo].s += smp.seconds;
+            coldCombo[combo].n++;
+        }
+    }
+
+    std::printf("sweep_loadgen: %zu/%zu ok in %.2fs (%.1f req/s), "
+                "%zu hit(s), %zu computed\n",
+                okCount, args.requests, wall,
+                wall > 0.0 ? static_cast<double>(args.requests) / wall
+                           : 0.0,
+                hitLat.size(), missLat.size());
+    printClass("hits:", hitLat);
+    printClass("misses:", missLat);
+    if (notDone)
+        std::printf("  non-done ok responses: %zu\n", notDone);
+    for (const auto &kv : errors)
+        std::printf("  error %-16s %llu\n", kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+    if (connectFailures.load())
+        std::printf("  connect failures: %zu\n",
+                    connectFailures.load());
+
+    // ---- --dump: sorted key -> result bytes ------------------------
+    // Later responses for the same key overwrite earlier ones; for a
+    // deterministic job they are byte-identical anyway, which is
+    // exactly what two dumps compared with cmp(1) assert.
+    if (!args.dumpPath.empty()) {
+        std::map<std::string, std::string> byKey;
+        for (const Sample &smp : samples)
+            if (smp.ok && !smp.key.empty())
+                byKey[smp.key] = smp.resultText;
+        std::string out;
+        for (const auto &kv : byKey) {
+            out += kv.first;
+            out += ' ';
+            out += kv.second;
+            out += '\n';
+        }
+        if (!writeTextFile(args.dumpPath, out))
+            fatal("cannot write %s", args.dumpPath.c_str());
+        if (!args.quiet)
+            std::printf("  dumped %zu result(s) to %s\n",
+                        byKey.size(), args.dumpPath.c_str());
+    }
+
+    // ---- --json: isrf-perf-record-v1 -------------------------------
+    if (!args.jsonPath.empty()) {
+        std::sort(hitLat.begin(), hitLat.end());
+        std::sort(missLat.begin(), missLat.end());
+        JsonWriter w;
+        w.beginObject();
+        w.field("schema", std::string("isrf-perf-record-v1"));
+        w.field("bench", std::string("sweep_loadgen"));
+        w.key("host").beginObject();
+        w.field("cpus", static_cast<uint64_t>(
+            std::thread::hardware_concurrency()));
+        w.field("jobs", static_cast<uint64_t>(args.connections));
+        w.endObject();
+        w.key("totals").beginObject();
+        w.field("wall_seconds", wall);
+        w.field("sum_job_seconds", sumSeconds);
+        w.field("jobs", static_cast<uint64_t>(args.requests));
+        w.field("failed",
+                static_cast<uint64_t>(args.requests - okCount));
+        w.field("replayed", static_cast<uint64_t>(hitLat.size()));
+        w.field("sim_cycles", coldCycles);
+        // Rate over computed work only, like bench_sweep's totals:
+        // hits contribute neither cycles nor meaningful seconds.
+        w.field("sim_cycles_per_second",
+                coldSeconds > 0.0
+                    ? static_cast<double>(coldCycles) / coldSeconds
+                    : 0.0);
+        w.endObject();
+        w.key("latency").beginObject();
+        w.field("hit_count", static_cast<uint64_t>(hitLat.size()));
+        w.field("hit_p50_ms", percentile(hitLat, 0.50) * 1e3);
+        w.field("hit_p99_ms", percentile(hitLat, 0.99) * 1e3);
+        w.field("hit_p999_ms", percentile(hitLat, 0.999) * 1e3);
+        w.field("miss_count", static_cast<uint64_t>(missLat.size()));
+        w.field("miss_p50_ms", percentile(missLat, 0.50) * 1e3);
+        w.field("miss_p99_ms", percentile(missLat, 0.99) * 1e3);
+        w.field("miss_p999_ms", percentile(missLat, 0.999) * 1e3);
+        w.endObject();
+        w.key("jobs").beginArray();
+        // One aggregate entry per combo: computed requests as the
+        // gateable metric, store hits marked replayed so perf_diff
+        // drops them (their latency is transport, not simulation).
+        for (const auto &kv : coldCombo) {
+            const size_t slash = kv.first.find('/');
+            w.beginObject();
+            w.field("workload", kv.first.substr(0, slash));
+            w.field("machine", kv.first.substr(slash + 1));
+            w.field("status", std::string("done"));
+            w.field("wall_seconds",
+                    kv.second.n ? kv.second.s /
+                        static_cast<double>(kv.second.n) : 0.0);
+            w.field("replayed", false);
+            w.endObject();
+        }
+        for (const auto &kv : hitCombo) {
+            const size_t slash = kv.first.find('/');
+            w.beginObject();
+            w.field("workload", kv.first.substr(0, slash));
+            w.field("machine", kv.first.substr(slash + 1));
+            w.field("status", std::string("done"));
+            w.field("wall_seconds",
+                    kv.second.n ? kv.second.s /
+                        static_cast<double>(kv.second.n) : 0.0);
+            w.field("replayed", true);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        if (!writeTextFile(args.jsonPath, w.str()))
+            fatal("cannot write %s", args.jsonPath.c_str());
+        if (!args.quiet)
+            std::printf("  wrote perf record to %s\n",
+                        args.jsonPath.c_str());
+    }
+
+    const bool transportTrouble = connectFailures.load() > 0 ||
+        errors.count("connection_lost") ||
+        errors.count("bad_response");
+    return transportTrouble ? 1 : 0;
+}
