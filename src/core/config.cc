@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sim/profiler.h"
+#include "srf/arbiter.h"
 #include "util/env.h"
 #include "util/log.h"
 
@@ -113,6 +114,13 @@ MachineConfig::validate() const
         errs.push_back("subArrays must be a power of two");
     if (srf.seqWidth != 0 && srf.laneWords % srf.seqWidth != 0)
         errs.push_back("laneWords must be a multiple of seqWidth");
+    if (srf.seqWidth > 8)
+        errs.push_back("seqWidth > 8 unsupported (the sequential row "
+                       "buffer is 8 words wide)");
+    if (srf.maxStreamSlots + 1 > RoundRobinArbiter::kMaxClaimants)
+        errs.push_back("maxStreamSlots must leave the global arbiter "
+                       "at most 64 claimants (slots + the indexed "
+                       "bundle)");
     if (srf.laneWords == 0)
         errs.push_back("laneWords must be nonzero");
     if (dram.wordsPerCycle <= 0)

@@ -253,7 +253,13 @@ Machine::nextEvent(Cycle now)
         return now + 1;
     if (kernelEventCycle_ == now)
         return now + 1;
-    Cycle wake = kNoEvent;
+    // The SRF's pending-claims mask makes its query O(1); ask it first
+    // so a busy SRF short-circuits the per-cluster scan. now + 1 is the
+    // global minimum any component may report, so an early exit cannot
+    // change the resulting min.
+    Cycle wake = srf_.nextEvent(now);
+    if (wake == now + 1)
+        return wake;
     if (injector_)
         wake = std::min(wake, injector_->nextEvent(now));
     for (auto &c : clusters_) {
@@ -261,7 +267,6 @@ Machine::nextEvent(Cycle now)
         if (wake == now + 1)
             return wake;
     }
-    wake = std::min(wake, srf_.nextEvent(now));
     wake = std::min(wake, mem_.nextEvent(now));
     return wake;
 }

@@ -17,17 +17,24 @@ Crossbar::init(uint32_t ports, uint32_t srcLimit, uint32_t dstLimit,
     srcUsed_.assign(ports, 0);
     dstUsed_.assign(ports, 0);
     linkUsed_.assign(2 * static_cast<size_t>(ports), 0);
+    dirty_ = false;
 }
 
 void
 Crossbar::newCycle()
 {
+    // Budgets are only consumed through tryTransfer()/claimSource();
+    // after a cycle with no successful claim every entry is already
+    // zero, so the reset can be skipped (hot on quiescent cycles).
+    if (!dirty_)
+        return;
     for (auto &u : srcUsed_)
         u = 0;
     for (auto &u : dstUsed_)
         u = 0;
     for (auto &u : linkUsed_)
         u = 0;
+    dirty_ = false;
 }
 
 uint32_t
@@ -100,6 +107,7 @@ Crossbar::tryTransfer(uint32_t src, uint32_t dst)
         for (uint32_t l : links)
             linkUsed_[l] = 1;
     }
+    dirty_ = true;
     transfers_++;
     return true;
 }
@@ -112,6 +120,7 @@ Crossbar::claimSource(uint32_t src)
     if (srcUsed_[src] >= srcLimit_)
         return false;
     srcUsed_[src]++;
+    dirty_ = true;
     return true;
 }
 

@@ -92,6 +92,8 @@ class Crossbar
     std::vector<uint32_t> srcUsed_;
     std::vector<uint32_t> dstUsed_;
     std::vector<uint8_t> linkUsed_;  ///< ring only: 2*ports_ links
+    /** Any budget consumed since the last newCycle() reset. */
+    bool dirty_ = false;
     uint64_t transfers_ = 0;
     uint64_t rejects_ = 0;
 };

@@ -13,12 +13,18 @@ Engine::add(Ticked *component)
     if (!component)
         panic("Engine::add: null component");
     components_.push_back(component);
+    // Type-segregated dispatch: the post-pass only visits components
+    // that declared a postTick() override, so the common all-default
+    // case pays zero virtual calls per cycle for it.
+    if (component->hasPostTick())
+        postTickers_.push_back(component);
 }
 
 void
 Engine::clear()
 {
     components_.clear();
+    postTickers_.clear();
     now_ = 0;
     nextDeadlineCheck_ = 0;
 }
@@ -48,7 +54,7 @@ Engine::tickOnce()
 {
     for (Ticked *c : components_)
         c->tick(now_);
-    for (Ticked *c : components_)
+    for (Ticked *c : postTickers_)
         c->postTick(now_);
     now_++;
 }

@@ -266,6 +266,8 @@ class Engine
     void fastForward(Cycle bound);
 
     std::vector<Ticked *> components_;
+    /** Subset of components_ whose hasPostTick() is true. */
+    std::vector<Ticked *> postTickers_;
     Cycle now_ = 0;
     EngineMode mode_ = EngineMode::Dense;
     Tracer *tracer_ = nullptr;

@@ -44,8 +44,17 @@ class Ticked
     /** Advance one cycle. Called once per cycle in registration order. */
     virtual void tick(Cycle now) = 0;
 
-    /** Optional second phase, after all components ticked. */
+    /**
+     * Optional second phase, after all components ticked. A component
+     * that overrides postTick() must also override hasPostTick() to
+     * return true — the engine only invokes postTick() on components
+     * that declared it, so the per-cycle post-pass costs nothing when
+     * (as is typical) no component uses it.
+     */
     virtual void postTick(Cycle now) { (void)now; }
+
+    /** Declare that postTick() is overridden (see above). */
+    virtual bool hasPostTick() const { return false; }
 
     /**
      * Earliest cycle at which this component can next change observable

@@ -12,8 +12,13 @@ Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet,
           Tracer *tracer)
 {
     trc_ = tracer ? tracer : &Tracer::instance();
+    // Backstop only: MachineConfig::validate() reports this collect-all
+    // style before any machine is built. Direct init() callers (tests,
+    // benches) bypass validate(), and serviceSeqSlot's row buffer is 8
+    // words — wider would be silent stack corruption.
     if (geom.seqWidth > 8)
-        fatal("Srf: seqWidth > 8 unsupported");
+        panic("Srf: seqWidth %u > 8 unsupported (rejected by "
+              "MachineConfig::validate)", geom.seqWidth);
     geom_ = geom;
     mode_ = mode;
     dataNet_ = dataNet;
@@ -32,7 +37,24 @@ Srf::init(const SrfGeometry &geom, SrfMode mode, Crossbar *dataNet,
     laneIdxRr_.assign(geom.lanes, 0);
     crossRouteRr_ = 0;
     curCycle_ = 0;
+    seqClaimMask_ = 0;
+    inLaneIdxOpenMask_ = 0;
+    crossIdxOpenMask_ = 0;
+    inLaneFifoEntries_ = 0;
+    crossFifoEntries_ = 0;
+    remoteEntries_ = 0;
+    returnEntries_ = 0;
     stats_.resetAll();
+    // Cached counter pointers stay valid across resetAll() (map nodes
+    // are stable), but re-arming them keeps a freshly constructed Srf
+    // and a re-initialized one on the identical lazy-registration path.
+    portIdleC_ = nullptr;
+    seqGrantC_ = nullptr;
+    idxGrantC_ = nullptr;
+    dmaGrantC_ = nullptr;
+    crossRoutedC_ = nullptr;
+    idxReadsC_ = nullptr;
+    idxWritesC_ = nullptr;
     seqWords_ = 0;
     idxInLaneWords_ = 0;
     idxCrossWords_ = 0;
@@ -74,6 +96,8 @@ Srf::openSlot(const SlotConfig &cfg)
                     geom_.streamBufWords / cfg.recordWords));
         }
         stats_.counter("slots_opened").inc();
+        recomputeIdxOpenMasks();
+        recomputeSeqClaim(id);
         return id;
     }
     panic("Srf: out of stream slots (%u)", geom_.maxStreamSlots);
@@ -83,14 +107,18 @@ void
 Srf::closeSlot(SlotId slot)
 {
     Slot &s = slotRef(slot);
+    uncountSlotFifos(s);
     s.open = false;
     s.lanes.clear();
+    seqClaimMask_ &= ~(uint64_t{1} << slot);
+    recomputeIdxOpenMasks();
 }
 
 void
 Srf::rewindSlot(SlotId slot)
 {
     Slot &s = slotRef(slot);
+    uncountSlotFifos(s);
     s.flushing = false;
     for (auto &ls : s.lanes) {
         ls.seq.clear();
@@ -103,6 +131,7 @@ Srf::rewindSlot(SlotId slot)
         ls.nextSeqNo = 0;
         ls.pendingWrites = 0;
     }
+    recomputeSeqClaim(slot);
 }
 
 void
@@ -117,17 +146,23 @@ Srf::configureSlotBinding(SlotId slot, StreamDir dir, bool indexed,
               "(paper §4.7)");
     if (readWrite && !indexed)
         panic("Srf: read-write bindings require an indexed stream");
+    // Rewind under the *old* binding first: it un-counts the slot's
+    // address-FIFO entries, which are categorized by the current
+    // crossLane flag.
+    rewindSlot(slot);
     s.cfg.dir = dir;
     s.cfg.indexed = indexed;
     s.cfg.crossLane = crossLane;
     s.cfg.readWrite = readWrite;
-    rewindSlot(slot);
+    recomputeIdxOpenMasks();
+    recomputeSeqClaim(slot);
 }
 
 void
 Srf::flushSlot(SlotId slot)
 {
     slotRef(slot).flushing = true;
+    recomputeSeqClaim(slot);
 }
 
 bool
@@ -266,13 +301,25 @@ Srf::seqCanRead(uint32_t lane, SlotId slot) const
 Word
 Srf::seqRead(uint32_t lane, SlotId slot)
 {
-    LaneSlotState &ls = slotRef(slot).lanes[lane];
+    Slot &s = slotRef(slot);
+    LaneSlotState &ls = s.lanes[lane];
     if (!ls.seq.canPop())
         panic("Srf: seqRead from empty buffer (lane %u slot %d)", lane,
               slot);
     ls.clusterReads++;
     seqWords_++;
-    return ls.seq.pop();
+    Word w = ls.seq.pop();
+    // Claim-mask maintenance: popping grows an input buffer's free
+    // space, so this lane's refill claim can only turn ON — other
+    // lanes are untouched. An output slot's drain claim can turn off.
+    const uint64_t bit = uint64_t{1} << slot;
+    if (s.cfg.dir == StreamDir::In) {
+        if (!(seqClaimMask_ & bit) && laneWantsSeqPort(s, lane))
+            seqClaimMask_ |= bit;
+    } else if (seqClaimMask_ & bit) {
+        recomputeSeqClaim(slot);
+    }
+    return w;
 }
 
 bool
@@ -284,11 +331,21 @@ Srf::seqCanWrite(uint32_t lane, SlotId slot) const
 void
 Srf::seqWrite(uint32_t lane, SlotId slot, Word w)
 {
-    LaneSlotState &ls = slotRef(slot).lanes[lane];
+    Slot &s = slotRef(slot);
+    LaneSlotState &ls = s.lanes[lane];
     if (!ls.seq.canPush())
         panic("Srf: seqWrite to full buffer (lane %u slot %d)", lane, slot);
     seqWords_++;
     ls.seq.push(w);
+    // Pushing fills the buffer: an output slot's drain claim can only
+    // turn ON for this lane; an input slot's refill claim can turn off.
+    const uint64_t bit = uint64_t{1} << slot;
+    if (s.cfg.dir == StreamDir::Out) {
+        if (!(seqClaimMask_ & bit) && laneWantsSeqPort(s, lane))
+            seqClaimMask_ |= bit;
+    } else if (seqClaimMask_ & bit) {
+        recomputeSeqClaim(slot);
+    }
 }
 
 uint64_t
@@ -368,7 +425,11 @@ Srf::idxIssueRead(uint32_t lane, SlotId slot, uint32_t recordIndex)
     uint64_t seqNo = ls.nextSeqNo++;
     ls.fifo.push(recordIndex, seqNo, curCycle_);
     ls.idata.registerRequest(seqNo, s.cfg.recordWords);
-    stats_.counter("idx_reads_issued").inc();
+    if (s.cfg.crossLane)
+        crossFifoEntries_++;
+    else
+        inLaneFifoEntries_++;
+    lazyCounter(idxReadsC_, "idx_reads_issued").inc();
     return true;
 }
 
@@ -388,7 +449,8 @@ Srf::idxIssueWrite(uint32_t lane, SlotId slot, uint32_t recordIndex,
     uint64_t seqNo = ls.nextSeqNo++;
     ls.fifo.push(recordIndex, seqNo, curCycle_, data, s.cfg.recordWords);
     ls.pendingWrites++;
-    stats_.counter("idx_writes_issued").inc();
+    inLaneFifoEntries_++;  // cross-lane writes are rejected above
+    lazyCounter(idxWritesC_, "idx_writes_issued").inc();
     return true;
 }
 
@@ -505,24 +567,82 @@ Srf::beginCycle(Cycle now)
 }
 
 bool
+Srf::laneWantsSeqPort(const Slot &s, uint32_t lane) const
+{
+    if (!s.open || s.cfg.indexed)
+        return false;
+    const LaneSlotState &ls = s.lanes[lane];
+    if (s.cfg.dir == StreamDir::In) {
+        uint64_t remaining = laneStreamWords(s, lane) - ls.srfWordsRead;
+        return remaining > 0 && ls.seq.freeSpace() >= geom_.seqWidth;
+    }
+    return ls.seq.size() >= geom_.seqWidth ||
+        (s.flushing && !ls.seq.empty());
+}
+
+bool
 Srf::slotWantsSeqPort(SlotId id) const
 {
     const Slot &s = slots_[id];
     if (!s.open || s.cfg.indexed)
         return false;
-    for (uint32_t l = 0; l < geom_.lanes; l++) {
-        const LaneSlotState &ls = s.lanes[l];
-        if (s.cfg.dir == StreamDir::In) {
-            uint64_t remaining = laneStreamWords(s, l) - ls.srfWordsRead;
-            if (remaining > 0 && ls.seq.freeSpace() >= geom_.seqWidth)
-                return true;
-        } else {
-            if (ls.seq.size() >= geom_.seqWidth ||
-                    (s.flushing && !ls.seq.empty()))
-                return true;
-        }
-    }
+    for (uint32_t l = 0; l < geom_.lanes; l++)
+        if (laneWantsSeqPort(s, l))
+            return true;
     return false;
+}
+
+void
+Srf::recomputeSeqClaim(SlotId id)
+{
+    const uint64_t bit = uint64_t{1} << id;
+    if (slotWantsSeqPort(id))
+        seqClaimMask_ |= bit;
+    else
+        seqClaimMask_ &= ~bit;
+}
+
+void
+Srf::recomputeIdxOpenMasks()
+{
+    inLaneIdxOpenMask_ = 0;
+    crossIdxOpenMask_ = 0;
+    for (SlotId id = 0; id < static_cast<SlotId>(slots_.size()); id++) {
+        const Slot &s = slots_[id];
+        if (!s.open || !s.cfg.indexed)
+            continue;
+        if (s.cfg.crossLane)
+            crossIdxOpenMask_ |= uint64_t{1} << id;
+        else
+            inLaneIdxOpenMask_ |= uint64_t{1} << id;
+    }
+}
+
+void
+Srf::uncountSlotFifos(const Slot &s)
+{
+    if (!s.cfg.indexed || s.lanes.empty())
+        return;
+    uint64_t n = 0;
+    for (const auto &ls : s.lanes)
+        n += ls.fifo.size();
+    if (s.cfg.crossLane)
+        crossFifoEntries_ -= n;
+    else
+        inLaneFifoEntries_ -= n;
+}
+
+void
+Srf::creditIdleCycles(uint64_t n)
+{
+    // Exactly what n dense endCycle() calls do when nothing claims the
+    // port: the port-idle counter and the global arbiter's idle count
+    // advance (its priority pointer stays frozen), and routeCrossLane's
+    // slot rotation still steps once per cycle.
+    lazyCounter(portIdleC_, "port_idle_cycles").inc(n);
+    globalArb_.skipIdle(n);
+    crossRouteRr_ = static_cast<uint32_t>(
+        (crossRouteRr_ + n) % slots_.size());
 }
 
 void
@@ -563,7 +683,8 @@ Srf::serviceSeqSlot(SlotId id)
             ls.writeRow++;
         }
     }
-    stats_.counter("seq_grant_cycles").inc();
+    recomputeSeqClaim(id);
+    lazyCounter(seqGrantC_, "seq_grant_cycles").inc();
 }
 
 void
@@ -571,38 +692,53 @@ Srf::routeCrossLane(Cycle now)
 {
     // The dedicated SRF address network (Figure 8(c)) routes one index
     // per source lane per cycle toward the owning bank, bounded by the
-    // bank's network ports and remote queue space.
+    // bank's network ports and remote queue space. The round-robin
+    // visits only open cross-lane slots: the mask split at the rotation
+    // pointer preserves the exact (crossRouteRr_ + k) % nSlots order of
+    // a full-slot scan with the non-cross slots skipped.
+    const uint64_t hi =
+        crossIdxOpenMask_ & ~((uint64_t{1} << crossRouteRr_) - 1);
+    const uint64_t lo = crossIdxOpenMask_ & ~hi;
     for (uint32_t l = 0; l < geom_.lanes; l++) {
-        // Round-robin across this lane's cross-lane slots.
-        uint32_t nSlots = static_cast<uint32_t>(slots_.size());
-        for (uint32_t k = 0; k < nSlots; k++) {
-            SlotId id = static_cast<SlotId>((crossRouteRr_ + k) % nSlots);
-            Slot &s = slots_[id];
-            if (!s.open || !s.cfg.indexed || !s.cfg.crossLane)
-                continue;
-            LaneSlotState &ls = s.lanes[l];
-            if (ls.fifo.empty())
-                continue;
-            uint32_t wordIndex = ls.fifo.headWordIndex();
-            auto [bank, addr] = idxLocation(s, l, wordIndex);
-            if (banks_[bank].remoteQueueFull())
+        bool laneDone = false;
+        for (uint64_t part : {hi, lo}) {
+            for (uint64_t m = part; m != 0 && !laneDone; m &= m - 1) {
+                SlotId id = static_cast<SlotId>(__builtin_ctzll(m));
+                Slot &s = slots_[id];
+                LaneSlotState &ls = s.lanes[l];
+                if (ls.fifo.empty())
+                    continue;
+                uint32_t wordIndex = ls.fifo.headWordIndex();
+                auto [bank, addr] = idxLocation(s, l, wordIndex);
+                if (banks_[bank].remoteQueueFull()) {
+                    laneDone = true;  // head blocks: lane stalls
+                    break;
+                }
+                if (!indexNet_.route(l, bank)) {
+                    laneDone = true;  // no network port left this cycle
+                    break;
+                }
+                RemoteRequest r;
+                r.sourceLane = l;
+                r.slot = id;
+                r.laneAddr = addr;
+                r.seqNo = ls.fifo.head().seqNo;
+                r.wordOffset = ls.fifo.head().wordsIssued;
+                r.issueCycle = ls.fifo.head().issueCycle;
+                r.arrival = now + 1 + indexNet_.extraLatency(l, bank);
+                r.isWrite = false;
+                r.writeData = 0;
+                banks_[bank].pushRemote(r);
+                remoteEntries_++;
+                size_t before = ls.fifo.size();
+                ls.fifo.advanceHead();
+                if (ls.fifo.size() < before)
+                    crossFifoEntries_--;
+                lazyCounter(crossRoutedC_, "cross_indices_routed").inc();
+                laneDone = true;  // one injection per lane per cycle
+            }
+            if (laneDone)
                 break;
-            if (!indexNet_.route(l, bank))
-                break;
-            RemoteRequest r;
-            r.sourceLane = l;
-            r.slot = id;
-            r.laneAddr = addr;
-            r.seqNo = ls.fifo.head().seqNo;
-            r.wordOffset = ls.fifo.head().wordsIssued;
-            r.issueCycle = ls.fifo.head().issueCycle;
-            r.arrival = now + 1 + indexNet_.extraLatency(l, bank);
-            r.isWrite = false;
-            r.writeData = 0;
-            banks_[bank].pushRemote(r);
-            ls.fifo.advanceHead();
-            stats_.counter("cross_indices_routed").inc();
-            break;  // one injection per lane per cycle
         }
     }
     crossRouteRr_ = (crossRouteRr_ + 1) %
@@ -613,9 +749,10 @@ Srf::routeCrossLane(Cycle now)
 void
 Srf::serviceIndexed(Cycle now)
 {
-    stats_.counter("idx_grant_cycles").inc();
+    lazyCounter(idxGrantC_, "idx_grant_cycles").inc();
     const uint64_t conflicts0 = subArrayConflicts();
     const uint32_t budgetMax = geom_.indexedPerBank(mode_);
+    const uint32_t nSlots = static_cast<uint32_t>(slots_.size());
     for (uint32_t l = 0; l < geom_.lanes; l++) {
         uint32_t budget = budgetMax;
         // Remote (cross-lane) requests first: bounded additionally by
@@ -638,44 +775,59 @@ Srf::serviceIndexed(Cycle now)
             ret.earliest = now + 1;
             ret.issueCycle = r.issueCycle;
             returnQueues_[l].push_back(ret);
+            returnEntries_++;
             banks_[l].popRemote();
+            remoteEntries_--;
             idxCrossWords_++;
             budget--;
             remoteBudget--;
         }
-        // In-lane FIFO heads, rotating priority across slots.
-        uint32_t nSlots = static_cast<uint32_t>(slots_.size());
-        for (uint32_t k = 0; k < nSlots && budget > 0; k++) {
-            SlotId id = static_cast<SlotId>((laneIdxRr_[l] + k) % nSlots);
-            Slot &s = slots_[id];
-            if (!s.open || !s.cfg.indexed || s.cfg.crossLane)
-                continue;
-            LaneSlotState &ls = s.lanes[l];
-            if (ls.fifo.empty())
-                continue;
-            // Addresses become eligible the cycle after they enter the
-            // FIFO (the FIFO is a pipeline stage, Figure 9).
-            if (ls.fifo.head().issueCycle >= now)
-                continue;
-            uint32_t wordIndex = ls.fifo.headWordIndex();
-            auto [lane, addr] = idxLocation(s, l, wordIndex);
-            if (!banks_[lane].claimIndexedWord(addr))
-                continue;  // conflict: this FIFO's head stalls
-            if (!ls.fifo.head().isWrite) {
-                Word w = banks_[lane].read(addr);
-                Cycle ready = std::max(now + 2,
-                    ls.fifo.head().issueCycle + geom_.inLaneLatency);
-                ls.idata.deliver(ls.fifo.head().seqNo,
-                                 ls.fifo.head().wordsIssued, w, ready);
-            } else {
-                banks_[lane].write(addr,
-                    ls.fifo.head().writeData[ls.fifo.head().wordsIssued]);
-                if (ls.fifo.head().wordsIssued + 1 >= s.cfg.recordWords)
-                    ls.pendingWrites--;
+        // In-lane FIFO heads, rotating priority across the open
+        // in-lane indexed slots; the mask split at this lane's rotation
+        // pointer preserves the exact (laneIdxRr_ + k) % nSlots visit
+        // order of a full-slot scan with the non-indexed slots skipped.
+        const uint64_t hi = inLaneIdxOpenMask_ &
+            ~((uint64_t{1} << laneIdxRr_[l]) - 1);
+        const uint64_t lo = inLaneIdxOpenMask_ & ~hi;
+        for (uint64_t part : {hi, lo}) {
+            for (uint64_t m = part; m != 0 && budget > 0; m &= m - 1) {
+                SlotId id = static_cast<SlotId>(__builtin_ctzll(m));
+                Slot &s = slots_[id];
+                LaneSlotState &ls = s.lanes[l];
+                if (ls.fifo.empty())
+                    continue;
+                // Addresses become eligible the cycle after they enter
+                // the FIFO (the FIFO is a pipeline stage, Figure 9).
+                if (ls.fifo.head().issueCycle >= now)
+                    continue;
+                uint32_t wordIndex = ls.fifo.headWordIndex();
+                auto [lane, addr] = idxLocation(s, l, wordIndex);
+                if (!banks_[lane].claimIndexedWord(addr))
+                    continue;  // conflict: this FIFO's head stalls
+                if (!ls.fifo.head().isWrite) {
+                    Word w = banks_[lane].read(addr);
+                    Cycle ready = std::max(now + 2,
+                        ls.fifo.head().issueCycle + geom_.inLaneLatency);
+                    ls.idata.deliver(ls.fifo.head().seqNo,
+                                     ls.fifo.head().wordsIssued, w,
+                                     ready);
+                } else {
+                    banks_[lane].write(addr,
+                        ls.fifo.head()
+                            .writeData[ls.fifo.head().wordsIssued]);
+                    if (ls.fifo.head().wordsIssued + 1 >=
+                            s.cfg.recordWords)
+                        ls.pendingWrites--;
+                }
+                size_t before = ls.fifo.size();
+                ls.fifo.advanceHead();
+                if (ls.fifo.size() < before)
+                    inLaneFifoEntries_--;
+                idxInLaneWords_++;
+                budget--;
             }
-            ls.fifo.advanceHead();
-            idxInLaneWords_++;
-            budget--;
+            if (budget == 0)
+                break;
         }
         laneIdxRr_[l] = (laneIdxRr_[l] + 1) % nSlots;
     }
@@ -713,6 +865,7 @@ Srf::progressReturns(Cycle now)
                     r.seqNo, r.wordOffset, r.data, ready);
             }
             q.pop_front();
+            returnEntries_--;
         }
     }
 }
@@ -722,56 +875,44 @@ Srf::endCycle(Cycle now)
 {
     // Global two-stage arbitration (§4.4): stage one picks a single
     // sequential stream (or DMA transfer) or the indexed-access bundle;
-    // stage two (per-lane) happens inside serviceIndexed().
+    // stage two (per-lane) happens inside serviceIndexed(). Claims are
+    // maintained at enqueue/dequeue time (DESIGN.md §15), so a fully
+    // quiescent cycle reduces to the same bulk idle credit skip mode
+    // uses — no arbitration, no slot scans.
     const uint32_t nSlots = geom_.maxStreamSlots;
-    std::vector<uint8_t> claims(nSlots + 1, 0);
-    for (SlotId id = 0; id < static_cast<SlotId>(nSlots); id++) {
-        if (slotWantsSeqPort(id))
-            claims[id] = 1;
+    const bool idxWork = inLaneFifoEntries_ > 0 || remoteEntries_ > 0;
+    if (!idxWork && seqClaimMask_ == 0 && memClaims_.empty() &&
+            crossFifoEntries_ == 0 && returnEntries_ == 0) {
+        creditIdleCycles(1);
+        return;
     }
+
+    uint64_t claims = seqClaimMask_;
     for (const auto &mc : memClaims_) {
         if (mc.slot >= 0 && mc.slot < static_cast<SlotId>(nSlots))
-            claims[mc.slot] = 1;
+            claims |= uint64_t{1} << mc.slot;
     }
-    bool idxWork = false;
-    for (const auto &s : slots_) {
-        if (!s.open || !s.cfg.indexed)
-            continue;
-        for (const auto &ls : s.lanes) {
-            if (!ls.fifo.empty() && !s.cfg.crossLane) {
-                idxWork = true;
-                break;
-            }
-        }
-        if (idxWork)
-            break;
-    }
-    for (const auto &b : banks_) {
-        if (b.hasRemote()) {
-            idxWork = true;
-            break;
-        }
-    }
-    if (mode_ != SrfMode::SequentialOnly)
-        claims[nSlots] = idxWork ? 1 : 0;
+    if (mode_ != SrfMode::SequentialOnly && idxWork)
+        claims |= uint64_t{1} << nSlots;
 
     // Stall-aware arbitration (SS5.4 ablation): indexed accesses take
     // the port outright when an address FIFO is close to overflowing.
+    // The urgency scan covers cross-lane slots too, matching the claim
+    // they raise through routed remote requests.
     bool idxUrgent = false;
     if (geom_.arbPolicy == ArbPolicy::IndexedPriority && idxWork) {
         uint32_t threshold = geom_.addrFifoSize -
             std::max(1u, geom_.addrFifoSize / 4);
-        for (const auto &s : slots_) {
-            if (!s.open || !s.cfg.indexed)
-                continue;
+        uint64_t open = inLaneIdxOpenMask_ | crossIdxOpenMask_;
+        for (uint64_t m = open; m != 0 && !idxUrgent; m &= m - 1) {
+            const Slot &s =
+                slots_[static_cast<size_t>(__builtin_ctzll(m))];
             for (const auto &ls : s.lanes) {
                 if (ls.fifo.size() >= threshold) {
                     idxUrgent = true;
                     break;
                 }
             }
-            if (idxUrgent)
-                break;
         }
     }
 
@@ -788,7 +929,7 @@ Srf::endCycle(Cycle now)
             if (mc.slot == granted) {
                 mc.onGrant();
                 dmaServed = true;
-                stats_.counter("dma_grant_cycles").inc();
+                lazyCounter(dmaGrantC_, "dma_grant_cycles").inc();
                 break;
             }
         }
@@ -799,34 +940,32 @@ Srf::endCycle(Cycle now)
         if (!dmaServed)
             serviceSeqSlot(granted);
     } else {
-        stats_.counter("port_idle_cycles").inc();
+        lazyCounter(portIdleC_, "port_idle_cycles").inc();
     }
 
-    routeCrossLane(now);
-    progressReturns(now);
+    // routeCrossLane rotates its round-robin pointer every cycle even
+    // with nothing to route; only pay the full routing pass when a
+    // cross-lane address FIFO actually holds entries.
+    if (crossFifoEntries_ > 0)
+        routeCrossLane(now);
+    else
+        crossRouteRr_ = (crossRouteRr_ + 1) %
+            static_cast<uint32_t>(slots_.size());
+    if (returnEntries_ > 0)
+        progressReturns(now);
 }
 
 Cycle
 Srf::nextEvent(Cycle now) const
 {
     // Any buffered work means a dense endCycle can move words (or at
-    // least a queue head can age toward eligibility) next cycle.
-    for (SlotId id = 0; id < static_cast<SlotId>(slots_.size()); id++) {
-        if (slotWantsSeqPort(id))
-            return now + 1;
-        const Slot &s = slots_[id];
-        if (!s.open || !s.cfg.indexed)
-            continue;
-        for (const auto &ls : s.lanes)
-            if (!ls.fifo.empty())
-                return now + 1;
-    }
-    for (const auto &b : banks_)
-        if (b.hasRemote())
-            return now + 1;
-    for (const auto &q : returnQueues_)
-        if (!q.empty())
-            return now + 1;
+    // least a queue head can age toward eligibility) next cycle. The
+    // pending-claims mask and occupancy counters are exact mirrors of
+    // the buffer state, so no slot scan is needed.
+    if (seqClaimMask_ != 0 || inLaneFifoEntries_ > 0 ||
+            crossFifoEntries_ > 0 || remoteEntries_ > 0 ||
+            returnEntries_ > 0)
+        return now + 1;
     // Quiescent: every per-cycle side effect left is bulk-creditable
     // via skipCycles (idle counters, RR rotation).
     return kNoEvent;
@@ -835,16 +974,9 @@ Srf::nextEvent(Cycle now) const
 void
 Srf::skipCycles(Cycle from, Cycle to)
 {
-    uint64_t n = to - from;
-    // A quiescent endCycle arbitrates over all-zero claims: the global
-    // arbiter counts an idle cycle (priority pointer frozen) and the
-    // port-idle counter increments.
-    stats_.counter("port_idle_cycles").inc(n);
-    globalArb_.skipIdle(n);
-    // routeCrossLane() rotates its slot round-robin pointer every cycle
-    // regardless of work.
-    crossRouteRr_ = static_cast<uint32_t>(
-        (crossRouteRr_ + n) % slots_.size());
+    // Same bulk credit the dense fast path takes one cycle at a time —
+    // shared code, so the two cannot drift apart.
+    creditIdleCycles(to - from);
     // beginCycle() stamps the cycle; the last skipped cycle is to - 1.
     curCycle_ = to - 1;
 }

@@ -332,6 +332,38 @@ class Srf
     void routeCrossLane(Cycle now);
     void progressReturns(Cycle now);
 
+    /** Does this one lane make `s` claim the sequential port? */
+    bool laneWantsSeqPort(const Slot &s, uint32_t lane) const;
+
+    /** Recompute slot id's bit of seqClaimMask_ from buffer state. */
+    void recomputeSeqClaim(SlotId id);
+
+    /** Recompute the open-indexed-slot masks (slot open/close/rebind). */
+    void recomputeIdxOpenMasks();
+
+    /** Remove a slot's address-FIFO entries from the pending counters
+     *  (rewind/close; must run before the FIFOs are cleared and before
+     *  the slot's crossLane flag changes). */
+    void uncountSlotFifos(const Slot &s);
+
+    /**
+     * Credit n fully quiescent cycles: the port-idle counter, the
+     * global arbiter's idle count (priority pointer frozen), and the
+     * cross-lane routing round-robin rotation. Shared by the dense
+     * zero-claims fast path and skip-mode bulk crediting so the two
+     * are identical by construction.
+     */
+    void creditIdleCycles(uint64_t n);
+
+    /** Cached stats-counter lookup (map nodes are address-stable). */
+    Counter &
+    lazyCounter(Counter *&c, const char *name)
+    {
+        if (!c)
+            c = &stats_.counter(name);
+        return *c;
+    }
+
     const Slot &slotRef(SlotId slot) const;
     Slot &slotRef(SlotId slot);
 
@@ -347,6 +379,30 @@ class Srf
     std::vector<uint32_t> laneIdxRr_;  ///< per-lane local RR pointer
     uint32_t crossRouteRr_ = 0;
     Cycle curCycle_ = 0;
+
+    // Event-driven arbitration state (DESIGN.md §15): claims are
+    // tracked at enqueue/dequeue time so endCycle() and nextEvent()
+    // never scan quiescent slots. seqClaimMask_ bit i mirrors
+    // slotWantsSeqPort(i) exactly; the occupancy counters mirror the
+    // address FIFOs / remote queues / return queues of open slots.
+    uint64_t seqClaimMask_ = 0;
+    uint64_t inLaneIdxOpenMask_ = 0;  ///< open && indexed && !crossLane
+    uint64_t crossIdxOpenMask_ = 0;   ///< open && indexed && crossLane
+    uint64_t inLaneFifoEntries_ = 0;
+    uint64_t crossFifoEntries_ = 0;
+    uint64_t remoteEntries_ = 0;
+    uint64_t returnEntries_ = 0;
+
+    // Lazily cached hot-path counters (see lazyCounter): caching keeps
+    // stats registration — and therefore report contents — identical
+    // to on-demand stats_.counter() lookups.
+    Counter *portIdleC_ = nullptr;
+    Counter *seqGrantC_ = nullptr;
+    Counter *idxGrantC_ = nullptr;
+    Counter *dmaGrantC_ = nullptr;
+    Counter *crossRoutedC_ = nullptr;
+    Counter *idxReadsC_ = nullptr;
+    Counter *idxWritesC_ = nullptr;
 
     StatGroup stats_{"srf"};
     uint64_t seqWords_ = 0;

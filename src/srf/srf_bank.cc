@@ -13,6 +13,7 @@ SrfBank::init(const SrfGeometry &geom, uint32_t laneId)
     words_.assign(geom.laneWords, 0);
     subArrays_.assign(geom.subArrays, SubArray());
     remoteQueue_.clear();
+    portsDirty_ = true;  // fresh sub-arrays: force one clean reset
     ecc_.clear();
     offline_.assign(geom.subArrays, 0);
     subUncorrectable_.assign(geom.subArrays, 0);
@@ -22,8 +23,13 @@ SrfBank::init(const SrfGeometry &geom, uint32_t laneId)
 void
 SrfBank::newCycle()
 {
+    // Sub-array ports only become busy through the claim calls below;
+    // with none since the last reset every port is already free.
+    if (!portsDirty_)
+        return;
     for (auto &sa : subArrays_)
         sa.newCycle();
+    portsDirty_ = false;
 }
 
 Word
@@ -74,6 +80,7 @@ SrfBank::claimSequentialRow(uint32_t addr)
     if (addr % geom_.seqWidth != 0)
         panic("SrfBank[%u]: unaligned sequential row address %u", laneId_,
               addr);
+    portsDirty_ = true;
     return subArrays_[portFor(addr)].claimSequential();
 }
 
@@ -82,6 +89,7 @@ SrfBank::claimIndexedWord(uint32_t addr)
 {
     if (addr >= words_.size())
         panic("SrfBank[%u]: indexed address %u out of range", laneId_, addr);
+    portsDirty_ = true;
     return subArrays_[portFor(addr)].claimIndexed();
 }
 

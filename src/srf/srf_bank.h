@@ -46,7 +46,8 @@ class SrfBank
 
     uint32_t laneId() const { return laneId_; }
 
-    /** Begin-of-cycle: free all sub-array ports. */
+    /** Begin-of-cycle: free all sub-array ports. Skipped internally
+     *  when no claim touched them since the last reset. */
     void newCycle();
 
     /** Raw storage access (functional; used by DMA and debugging). */
@@ -123,6 +124,8 @@ class SrfBank
     SrfGeometry geom_;
     uint32_t laneId_ = 0;
     uint32_t remoteDepth_ = 4;
+    /** Any sub-array port possibly claimed since the last newCycle(). */
+    bool portsDirty_ = false;
     /** mutable: read() scrubs corrected words back in place. */
     mutable std::vector<Word> words_;
     std::vector<SubArray> subArrays_;

@@ -23,6 +23,7 @@ struct CountingComponent : Ticked
         lastNow = now;
     }
     void postTick(Cycle) override { posts++; }
+    bool hasPostTick() const override { return true; }
     std::string tickedName() const override { return "counter"; }
 };
 

@@ -266,6 +266,22 @@ TEST(ConfigValidateDeathTest, KeepsExistingChecks)
     EXPECT_DEATH(lw.validate(), "multiple of seqWidth");
 }
 
+TEST(ConfigValidateDeathTest, SeqWidthBeyondRowBufferIsConfigError)
+{
+    // Used to hard-fatal() inside Srf::init() at machine-build time;
+    // now reported collect-all with the other config violations.
+    MachineConfig cfg = MachineConfig::base();
+    cfg.srf.seqWidth = 16;  // keeps laneWords a multiple: one violation
+    EXPECT_DEATH(cfg.validate(), "seqWidth > 8 unsupported");
+}
+
+TEST(ConfigValidateDeathTest, TooManySlotsForGlobalArbiter)
+{
+    MachineConfig cfg = MachineConfig::base();
+    cfg.srf.maxStreamSlots = 64;  // + indexed bundle = 65 claimants
+    EXPECT_DEATH(cfg.validate(), "at most 64 claimants");
+}
+
 // ----------------------------------------------- retry / poison path
 
 MachineConfig

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "srf/address_fifo.h"
 #include "srf/arbiter.h"
 #include "srf/stream_buffer.h"
@@ -165,6 +167,150 @@ TEST(RoundRobinArbiter, LongTermFairness)
         granted[static_cast<size_t>(arb.arbitrate(all))]++;
     for (int g : granted)
         EXPECT_EQ(g, 100);
+}
+
+// ----------------------------------------------------------------------
+// Bitmask claims API
+// ----------------------------------------------------------------------
+
+/**
+ * Reference model of the pre-bitmask arbiter: linear scan from the
+ * priority pointer over a claims vector. The production rotate+ctz
+ * implementation must be grant-for-grant identical to this.
+ */
+class ReferenceRrArbiter
+{
+  public:
+    explicit ReferenceRrArbiter(uint32_t n) : n_(n) {}
+
+    int
+    arbitrate(const std::vector<uint8_t> &claims)
+    {
+        for (uint32_t k = 0; k < n_; k++) {
+            uint32_t id = (next_ + k) % n_;
+            if (claims[id]) {
+                next_ = (id + 1) % n_;
+                grants_++;
+                return static_cast<int>(id);
+            }
+        }
+        idleCycles_++;
+        return -1;
+    }
+
+    uint64_t grants_ = 0;
+    uint64_t idleCycles_ = 0;
+
+  private:
+    uint32_t n_;
+    uint32_t next_ = 0;
+};
+
+TEST(RoundRobinArbiter, MaskGrantsMatchReferenceScan)
+{
+    // Randomized claim patterns, including long idle stretches and
+    // single-claimant bursts: grants, idle counts, and the priority
+    // rotation must match the linear-scan reference at every step.
+    for (uint32_t n : {1u, 2u, 7u, 25u, 64u}) {
+        RoundRobinArbiter arb(n);
+        ReferenceRrArbiter ref(n);
+        std::mt19937 rng(1234 + n);
+        for (int step = 0; step < 2000; step++) {
+            std::vector<uint8_t> claims(n, 0);
+            uint64_t mask = 0;
+            // Mix densities: mostly-idle, sparse, and dense cycles.
+            int density = static_cast<int>(rng() % 4);
+            for (uint32_t i = 0; i < n; i++) {
+                bool claim = density == 0 ? false
+                    : density == 1 ? (rng() % 8) == 0
+                    : density == 2 ? (rng() % 2) == 0
+                    : true;
+                if (claim) {
+                    claims[i] = 1;
+                    mask |= uint64_t{1} << i;
+                }
+            }
+            ASSERT_EQ(arb.arbitrate(mask), ref.arbitrate(claims))
+                << "n=" << n << " step=" << step;
+        }
+        EXPECT_EQ(arb.grants(), ref.grants_);
+        EXPECT_EQ(arb.idleCycles(), ref.idleCycles_);
+    }
+}
+
+TEST(RoundRobinArbiter, VectorOverloadMatchesMask)
+{
+    // The legacy vector protocol converts to the mask path: identical
+    // grant sequences for identical claims.
+    RoundRobinArbiter a(5);
+    RoundRobinArbiter b(5);
+    std::mt19937 rng(99);
+    for (int step = 0; step < 500; step++) {
+        std::vector<uint8_t> claims(5, 0);
+        uint64_t mask = 0;
+        for (uint32_t i = 0; i < 5; i++) {
+            if (rng() % 3 == 0) {
+                claims[i] = 1;
+                mask |= uint64_t{1} << i;
+            }
+        }
+        ASSERT_EQ(a.arbitrate(claims), b.arbitrate(mask));
+    }
+    EXPECT_EQ(a.grants(), b.grants());
+    EXPECT_EQ(a.idleCycles(), b.idleCycles());
+}
+
+TEST(RoundRobinArbiter, IdleCycleFreezesPriority)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(uint64_t{0b1111}), 0);
+    EXPECT_EQ(arb.arbitrate(uint64_t{0}), -1);
+    EXPECT_EQ(arb.arbitrate(uint64_t{0}), -1);
+    // Pointer still at 1 after the idle cycles.
+    EXPECT_EQ(arb.arbitrate(uint64_t{0b1111}), 1);
+    EXPECT_EQ(arb.idleCycles(), 2u);
+}
+
+TEST(RoundRobinArbiter, SkipIdleMatchesDenseIdleArbitration)
+{
+    // Bulk idle credit must equal n zero-claim arbitrate() calls:
+    // idle count advances, the priority pointer does not.
+    RoundRobinArbiter dense(6);
+    RoundRobinArbiter skip(6);
+    EXPECT_EQ(dense.arbitrate(uint64_t{0b100100}), 2);
+    EXPECT_EQ(skip.arbitrate(uint64_t{0b100100}), 2);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(dense.arbitrate(uint64_t{0}), -1);
+    skip.skipIdle(1000);
+    EXPECT_EQ(dense.idleCycles(), skip.idleCycles());
+    EXPECT_EQ(dense.priority(), skip.priority());
+    EXPECT_EQ(dense.arbitrate(uint64_t{0b100100}),
+              skip.arbitrate(uint64_t{0b100100}));
+}
+
+TEST(RoundRobinArbiterDeathTest, SizeMismatchPanics)
+{
+    // A claims vector sized differently from the claimant count is a
+    // caller bug; it used to be silently reported as "nobody claims"
+    // and credited as an idle cycle, corrupting arbitration stats.
+    RoundRobinArbiter arb(4);
+    std::vector<uint8_t> tooShort = {1, 1, 1};
+    EXPECT_DEATH(arb.arbitrate(tooShort), "3 claim entries for 4");
+    std::vector<uint8_t> tooLong = {0, 0, 0, 0, 1};
+    EXPECT_DEATH(arb.arbitrate(tooLong), "5 claim entries for 4");
+}
+
+TEST(RoundRobinArbiterDeathTest, ClaimBitBeyondWidthPanics)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_DEATH(arb.arbitrate(uint64_t{1} << 4),
+                 "claim bit beyond 4 claimants");
+}
+
+TEST(RoundRobinArbiterDeathTest, TooManyClaimantsPanics)
+{
+    EXPECT_DEATH(RoundRobinArbiter arb(65),
+                 "65 claimants exceed the 64-bit claim mask");
 }
 
 } // namespace

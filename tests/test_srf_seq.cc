@@ -215,6 +215,98 @@ TEST_F(SrfSeqTest, IndexedIssueOnSequentialOnlyDies)
                  "sequential-only");
 }
 
+TEST(SrfSkipCredit, QuiescentDenseCyclesMatchBulkCredit)
+{
+    // A quiescent endCycle() takes the zero-mask fast path; its
+    // crediting must be indistinguishable from skip-mode bulk credit:
+    // same counters, same arbiter state, same rotation state.
+    SrfGeometry geom;
+    Srf dense, skip;
+    dense.init(geom, SrfMode::SequentialOnly, nullptr);
+    skip.init(geom, SrfMode::SequentialOnly, nullptr);
+
+    for (Cycle c = 0; c < 777; c++) {
+        dense.beginCycle(c);
+        dense.endCycle(c);
+    }
+    skip.skipCycles(0, 777);
+
+    EXPECT_EQ(dense.stats().counter("port_idle_cycles").value(), 777u);
+    EXPECT_EQ(skip.stats().counter("port_idle_cycles").value(), 777u);
+
+    // Arbitration after the idle stretch behaves identically too.
+    SlotConfig cfg;
+    cfg.lengthWords = 32;
+    SlotId d = dense.openSlot(cfg);
+    SlotId s = skip.openSlot(cfg);
+    int denseGrants = 0, skipGrants = 0;
+    for (Cycle c = 777; c < 787; c++) {
+        dense.beginCycle(c);
+        dense.memClaim(d, [&] { denseGrants++; });
+        dense.endCycle(c);
+        skip.beginCycle(c);
+        skip.memClaim(s, [&] { skipGrants++; });
+        skip.endCycle(c);
+    }
+    EXPECT_EQ(denseGrants, skipGrants);
+    EXPECT_EQ(dense.stats().counter("dma_grant_cycles").value(),
+              skip.stats().counter("dma_grant_cycles").value());
+}
+
+/**
+ * Drive a mixed stream + DMA load and return the DMA grant count.
+ * Used to compare a re-initialized Srf against a fresh one.
+ */
+uint64_t
+driveMixedLoad(Srf &srf)
+{
+    Cycle now = 0;
+    SlotConfig cfg;
+    cfg.dir = StreamDir::In;
+    cfg.lengthWords = 256;
+    SlotId in = srf.openSlot(cfg);
+    std::vector<Word> data(256, 3);
+    srf.fillSlot(in, data);
+    SlotConfig dcfg;
+    dcfg.lengthWords = 32;
+    dcfg.base = 512;
+    SlotId dma = srf.openSlot(dcfg);
+    uint64_t dmaGrants = 0;
+    for (int i = 0; i < 64; i++) {
+        srf.beginCycle(now);
+        srf.memClaim(dma, [&] { dmaGrants++; });
+        for (uint32_t l = 0; l < 8; l++)
+            while (srf.seqCanRead(l, in))
+                srf.seqRead(l, in);
+        srf.endCycle(now);
+        now++;
+    }
+    srf.closeSlot(in);
+    srf.closeSlot(dma);
+    return dmaGrants;
+}
+
+TEST(SrfReinit, ReinitializedSrfArbitratesLikeFresh)
+{
+    // The re-init comment in Srf::init() as an asserted invariant:
+    // after init() on a used Srf, arbitration (grants, RR rotation,
+    // idle credit) replays exactly like a freshly constructed one.
+    SrfGeometry geom;
+    Srf reused, fresh;
+    reused.init(geom, SrfMode::SequentialOnly, nullptr);
+    driveMixedLoad(reused);  // dirty arbiters, rotations, counters
+    reused.init(geom, SrfMode::SequentialOnly, nullptr);
+    fresh.init(geom, SrfMode::SequentialOnly, nullptr);
+
+    EXPECT_EQ(driveMixedLoad(reused), driveMixedLoad(fresh));
+    for (const char *name : {"port_idle_cycles", "seq_grant_cycles",
+                             "dma_grant_cycles"}) {
+        EXPECT_EQ(reused.stats().counter(name).value(),
+                  fresh.stats().counter(name).value())
+            << name;
+    }
+}
+
 TEST(SrfAllocator, AlignsAndExhausts)
 {
     SrfGeometry geom;
