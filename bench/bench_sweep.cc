@@ -2,7 +2,10 @@
  * @file
  * Full-matrix parallel sweep: every paper benchmark on every machine
  * configuration (8 x 4 = 32 independent simulations) through the
- * SweepRunner thread pool.
+ * SweepRunner thread pool. --suite sparse swaps in the sparse &
+ * stencil family (SpMV/Stencil/Histogram), --suite all runs both, and
+ * --dataset <file.mtx> appends an external SpMV workload to whichever
+ * suite is selected.
  *
  * Prints per-job wall time, total wall time, and the aggregate
  * parallel speedup (sum of job times / sweep wall time). The --json
@@ -170,23 +173,47 @@ main(int argc, char **argv)
     // Sweep-only flags, handled by the shared parser (BenchFlag hook).
     std::string timingPath;
     std::string benchJsonPath;
+    std::string suite = "paper";
     bool withHang = false;
     BenchArgs args = parseBenchArgs(argc, argv, {
         {"--timing-json", true,
          [&](const std::string &v) { timingPath = v; }},
         {"--bench-json", true,
          [&](const std::string &v) { benchJsonPath = v; }},
+        {"--suite", true,
+         [&](const std::string &v) {
+             if (v != "paper" && v != "sparse" && v != "all") {
+                 std::fprintf(stderr, "--suite expects paper, sparse "
+                              "or all, got '%s'\n", v.c_str());
+                 std::exit(2);
+             }
+             suite = v;
+         }},
         {"--with-hang", false,
          [&](const std::string &) { withHang = true; }},
     });
-    heading("Parallel full-matrix sweep (8 benchmarks x 4 configs)",
+
+    // --suite paper is the default so the perf job's 32-job contract
+    // (8 paper benchmarks x 4 machines) holds without flags; sparse
+    // adds the irregular-access family, and --dataset workloads ride
+    // along with whichever suite is selected.
+    std::vector<std::string> names;
+    if (suite == "paper" || suite == "all")
+        names.insert(names.end(), benchmarkOrder().begin(),
+                     benchmarkOrder().end());
+    if (suite == "sparse" || suite == "all")
+        names.insert(names.end(), sparseBenchmarkOrder().begin(),
+                     sparseBenchmarkOrder().end());
+    names.insert(names.end(), args.datasetWorkloads.begin(),
+                 args.datasetWorkloads.end());
+
+    heading("Parallel full-matrix sweep (benchmarks x 4 configs)",
             "driver for Figures 11-13 data; results are --jobs "
             "invariant");
 
     WorkloadOptions opts;
     opts.repeats = 2;
-    auto jobs = SweepRunner::matrix(benchmarkOrder(), machineOrder(),
-                                    opts);
+    auto jobs = SweepRunner::matrix(names, machineOrder(), opts);
     if (withHang) {
         SweepJob hang;
         hang.workload = "Hang";

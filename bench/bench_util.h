@@ -25,6 +25,7 @@
 #include "util/env.h"
 #include "util/json.h"
 #include "util/table.h"
+#include "workloads/external.h"
 #include "workloads/workload.h"
 
 namespace isrf {
@@ -37,6 +38,21 @@ benchmarkOrder()
     static const std::vector<std::string> names = {
         "FFT 2D", "Rijndael", "Sort", "Filter",
         "IG_SML", "IG_DMS", "IG_DCS", "IG_SCL",
+    };
+    return names;
+}
+
+/**
+ * The sparse & stencil workload family (irregular-access counterpart
+ * to benchmarkOrder(); bench_sweep --suite sparse, EXPERIMENTS.md).
+ */
+inline const std::vector<std::string> &
+sparseBenchmarkOrder()
+{
+    static const std::vector<std::string> names = {
+        "SpMV Banded", "SpMV Random", "SpMV Power",
+        "Stencil 2D5", "Stencil 2D9", "Stencil 3D27",
+        "Histogram",
     };
     return names;
 }
@@ -212,6 +228,8 @@ struct BenchArgs
     bool resume = false;       ///< --resume: replay journaled jobs
     double timeoutSeconds = 0; ///< --timeout-s: per-attempt deadline
     unsigned retries = 0;      ///< --retries: extra attempts
+    /** Workload names registered via --dataset, in flag order. */
+    std::vector<std::string> datasetWorkloads;
 };
 
 /**
@@ -242,6 +260,10 @@ struct BenchFlag
  *   --resume                 replay journaled outcomes (with --journal)
  *   --timeout-s <secs>       per-attempt wall-clock deadline
  *   --retries <n>            retry TimedOut/Stalled jobs up to n times
+ *   --dataset <file.mtx>     register a MatrixMarket file as an
+ *                            "SpMV:<stem>" workload (repeatable;
+ *                            registered names land in
+ *                            BenchArgs::datasetWorkloads)
  * --trace enables all channels unless a channel spec (or ISRF_TRACE)
  * already selected some. --faults/--trace-channels/--profile export
  * their specs into the environment so every MachineConfig::fromEnv()
@@ -300,15 +322,27 @@ parseBenchArgs(int argc, char **argv,
             args.resume = true;
         } else if (s == "--timeout-s") {
             std::string v = next(i, "--timeout-s");
-            char *end = nullptr;
-            double secs = std::strtod(v.c_str(), &end);
-            if (!end || *end != '\0' || !(secs > 0.0)) {
+            double secs = 0;
+            if (!parseF64(v, secs) || !(secs > 0.0)) {
                 std::fprintf(stderr,
                              "--timeout-s expects a positive number, "
                              "got '%s'\n", v.c_str());
                 std::exit(2);
             }
             args.timeoutSeconds = secs;
+        } else if (s == "--dataset") {
+            std::string path = next(i, "--dataset");
+            std::string name;
+            std::vector<std::string> errs;
+            if (!registerExternalDataset(path, &name, &errs)) {
+                std::fprintf(stderr,
+                             "--dataset: cannot load '%s':\n",
+                             path.c_str());
+                for (const auto &e : errs)
+                    std::fprintf(stderr, "  %s\n", e.c_str());
+                std::exit(2);
+            }
+            args.datasetWorkloads.push_back(name);
         } else if (s == "--retries") {
             std::string v = next(i, "--retries");
             uint64_t n = 0;
@@ -335,7 +369,8 @@ parseBenchArgs(int argc, char **argv,
                 "[--trace-channels <spec>] [--profile <path>] "
                 "[--faults <spec>] "
                 "[--jobs <n>] [--quiet] [--journal <path>] "
-                "[--resume] [--timeout-s <secs>] [--retries <n>]%s\n",
+                "[--resume] [--timeout-s <secs>] [--retries <n>] "
+                "[--dataset <file.mtx>]...%s\n",
                 argv[0], extras.c_str());
             std::exit(0);
         } else {

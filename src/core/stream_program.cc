@@ -23,7 +23,7 @@ SlotId
 StreamProgram::addStream(const std::string &name, uint64_t totalWords,
                          StreamLayout layout, StreamDir dir, bool indexed,
                          bool crossLane, uint32_t recordWords,
-                         std::vector<uint32_t> perLaneLen)
+                         std::vector<uint32_t> perLaneLen, bool readWrite)
 {
     uint32_t base = machine_.allocator().alloc(totalWords, layout);
     if (base == SrfAllocator::kAllocFail)
@@ -36,9 +36,10 @@ StreamProgram::addStream(const std::string &name, uint64_t totalWords,
     cfg.dir = dir;
     // Binding properties are retargeted per kernel launch; what is
     // declared here only matters for direct Srf-level use.
-    cfg.indexed = indexed && machine_.config().srfMode !=
+    cfg.indexed = (indexed || readWrite) && machine_.config().srfMode !=
         SrfMode::SequentialOnly;
-    cfg.crossLane = crossLane && cfg.indexed;
+    cfg.crossLane = crossLane && cfg.indexed && !readWrite;
+    cfg.readWrite = readWrite && cfg.indexed;
     cfg.layout = layout;
     cfg.base = base;
     cfg.lengthWords = static_cast<uint32_t>(totalWords);
@@ -54,6 +55,18 @@ StreamProgram::addStreamAlias(const std::string &name, SlotId orig)
 {
     (void)name;
     SlotConfig cfg = machine_.srf().slotConfig(orig);
+    SlotId id = machine_.srf().openSlot(cfg);
+    openedSlots_.push_back(id);
+    return id;
+}
+
+SlotId
+StreamProgram::addStreamAlias(const std::string &name, SlotId orig,
+                              bool crossLane)
+{
+    (void)name;
+    SlotConfig cfg = machine_.srf().slotConfig(orig);
+    cfg.crossLane = crossLane && cfg.indexed;
     SlotId id = machine_.srf().openSlot(cfg);
     openedSlots_.push_back(id);
     return id;

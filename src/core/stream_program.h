@@ -60,12 +60,15 @@ class StreamProgram
      * @param indexed Opens the slot for indexed access.
      * @param crossLane Cross-lane indexed access (implies indexed).
      * @param dir Direction as seen by kernels.
+     * @param readWrite In-lane indexed read-write slot (histogram-style
+     *        in-place update; implies indexed, in-lane only).
      */
     SlotId addStream(const std::string &name, uint64_t totalWords,
                      StreamLayout layout = StreamLayout::Striped,
                      StreamDir dir = StreamDir::In, bool indexed = false,
                      bool crossLane = false, uint32_t recordWords = 1,
-                     std::vector<uint32_t> perLaneLen = {});
+                     std::vector<uint32_t> perLaneLen = {},
+                     bool readWrite = false);
 
     /**
      * Open an additional slot over the SAME SRF region as `orig`
@@ -76,6 +79,15 @@ class StreamProgram
      * producers/consumers.
      */
     SlotId addStreamAlias(const std::string &name, SlotId orig);
+
+    /**
+     * Like addStreamAlias, but overriding the cross-lane property of
+     * the view. Lets one SRF region be read both through the in-lane
+     * indexed ports (lane-local indices) and the cross-lane switch
+     * (global record indices) — the SpMV x-window split.
+     */
+    SlotId addStreamAlias(const std::string &name, SlotId orig,
+                          bool crossLane);
 
     /** Functionally pre-load a stream's SRF region (tables, tests). */
     void fillStream(SlotId slot, const std::vector<Word> &data);

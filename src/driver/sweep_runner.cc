@@ -16,6 +16,7 @@
 #include "util/jsonl.h"
 #include "util/log.h"
 #include "util/random.h"
+#include "workloads/external.h"
 
 namespace isrf {
 
@@ -190,6 +191,24 @@ canonicalJob(const SweepJob &job)
     addU("opts.repeats", job.opts.repeats);
     addU("opts.seed", job.opts.seed);
     addU("opts.separationOverride", job.opts.separationOverride);
+
+    // External-dataset workloads depend on file content the workload
+    // name cannot attest. Fold in the file's current size + FNV-1a so
+    // a journal written against one version of the input is stale —
+    // not silently spliced — when the file changes. Keys are appended
+    // only for dataset-backed workloads, so built-in fingerprints
+    // (including the golden values pinned in tests) are untouched.
+    if (const ExternalDataset *ds = findExternalDataset(job.workload)) {
+        uint64_t bytes = 0, fnv = 0;
+        if (!fnv1aFile(ds->path, bytes, fnv))
+            fatal("sweep fingerprint: dataset '%s' for workload '%s' "
+                  "is unreadable; cannot attest job identity",
+                  ds->path.c_str(), job.workload.c_str());
+        add("dataset.path", ds->path);
+        addU("dataset.bytes", bytes);
+        add("dataset.fnv1a", strprintf("%016llx",
+            static_cast<unsigned long long>(fnv)));
+    }
     return s;
 }
 
@@ -461,9 +480,9 @@ SweepRunner::run(const std::vector<SweepJob> &jobs,
                 fatal("--resume: journal %s is stale: it records sweep "
                       "%016llx over %zu job(s), but the submitted "
                       "matrix is sweep %016llx over %zu job(s). The "
-                      "workloads, configuration, or code have changed "
-                      "since it was written; delete the journal (or "
-                      "drop --resume) to start fresh.",
+                      "workloads, configuration, input datasets, or "
+                      "code have changed since it was written; delete "
+                      "the journal (or drop --resume) to start fresh.",
                       policy.journalPath.c_str(),
                       static_cast<unsigned long long>(
                           load.sweepFingerprint),

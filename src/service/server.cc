@@ -86,7 +86,8 @@ SweepService::buildJob(const ServiceRequest &req, SweepJob &out,
     out.opts.seed = req.seed;
     if (req.workload == kHangWorkload) {
         if (!cfg_.allowTestJobs) {
-            err = "unknown workload \"" + req.workload + "\"";
+            err = "unknown workload \"" + req.workload +
+                  "\"; registered: " + workloadNamesJoined();
             return false;
         }
         // Deadline-enforcement probe: never finishes on its own, but
@@ -119,7 +120,8 @@ SweepService::buildJob(const ServiceRequest &req, SweepJob &out,
         return true;
     }
     if (!workloadRegistry().count(req.workload)) {
-        err = "unknown workload \"" + req.workload + "\"";
+        err = "unknown workload \"" + req.workload +
+              "\"; registered: " + workloadNamesJoined();
         return false;
     }
     return true;
@@ -401,7 +403,10 @@ SweepService::handleRun(const ServiceRequest &req)
     if (!buildJob(req, job, err)) {
         std::lock_guard<std::mutex> lock(cmu_);
         counters_.badRequests++;
-        const char *code = err.find("machine") != std::string::npos
+        // Prefix match: the workload message now carries the full
+        // registry listing, which could itself contain "machine"
+        // (e.g. a dataset stem), so substring search is not safe.
+        const char *code = err.rfind("unknown machine", 0) == 0
                                ? "unknown_machine"
                                : "unknown_workload";
         return errorResponseJson(req.id, code, err);

@@ -25,6 +25,20 @@ namespace isrf {
 bool parseU64(const std::string &text, uint64_t &out);
 
 /**
+ * Strictly parse a base-10 signed integer: optional leading '-', no
+ * trailing junk, no overflow. @return false (out untouched) on any
+ * violation.
+ */
+bool parseI64(const std::string &text, int64_t &out);
+
+/**
+ * Strictly parse a finite decimal floating-point number: no trailing
+ * junk, no inf/nan, no hex floats. @return false (out untouched) on
+ * any violation.
+ */
+bool parseF64(const std::string &text, double &out);
+
+/**
  * Read an environment variable as a u64. On unset, returns `def`.
  * On a malformed or overflowing value, appends a description to
  * `errs` and returns `def` (warn-and-default; never fatal).

@@ -1,0 +1,33 @@
+#include "util/hash.h"
+
+#include <cstdio>
+
+namespace isrf {
+
+bool
+fnv1aFile(const std::string &path, uint64_t &bytes, uint64_t &hash)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    uint64_t n = 0;
+    uint64_t h = kFnvBasis;
+    unsigned char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        for (size_t i = 0; i < got; i++) {
+            h ^= buf[i];
+            h *= kFnvPrime;
+        }
+        n += got;
+    }
+    bool ioErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (ioErr)
+        return false;
+    bytes = n;
+    hash = h;
+    return true;
+}
+
+} // namespace isrf

@@ -27,6 +27,14 @@ fnv1a(const std::string &s, uint64_t h = kFnvBasis)
     return h;
 }
 
+/**
+ * Hash a file's bytes: size + FNV-1a content hash. Used to fold
+ * external dataset files into sweep fingerprints so a resumed journal
+ * cannot splice results computed from a since-modified input. Returns
+ * false (outputs untouched) if the file cannot be read.
+ */
+bool fnv1aFile(const std::string &path, uint64_t &bytes, uint64_t &hash);
+
 } // namespace isrf
 
 #endif // ISRF_UTIL_HASH_H

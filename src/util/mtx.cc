@@ -1,0 +1,404 @@
+#include "util/mtx.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/log.h"
+#include "util/random.h"
+
+namespace isrf {
+
+namespace {
+
+/** Cap on collected diagnostics so fuzzed garbage stays readable. */
+constexpr size_t kMaxErrors = 20;
+
+struct ErrorSink
+{
+    std::vector<std::string> *errs;
+    size_t count = 0;
+
+    void
+    add(size_t lineNo, const std::string &msg)
+    {
+        count++;
+        if (!errs)
+            return;
+        if (count == kMaxErrors + 1) {
+            errs->push_back("... further errors suppressed");
+            return;
+        }
+        if (count <= kMaxErrors)
+            errs->push_back(strprintf("line %zu: %s", lineNo,
+                                      msg.c_str()));
+    }
+};
+
+std::string
+lowered(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+/** Split on whitespace; '\r' counts as whitespace (CRLF files). */
+std::vector<std::string>
+fields(const std::string &line)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            i++;
+        size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+            i++;
+        if (i > start)
+            out.push_back(line.substr(start, i - start));
+    }
+    return out;
+}
+
+bool
+parseIndex(const std::string &s, uint64_t &out)
+{
+    if (s.empty() || s.size() > 19)
+        return false;
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseValue(const std::string &s, float &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (!end || *end != '\0' || end == s.c_str())
+        return false;
+    if (!std::isfinite(v))
+        return false;
+    out = static_cast<float>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+mtxParse(const std::string &text, MtxMatrix &out,
+         std::vector<std::string> *errs)
+{
+    out = MtxMatrix();
+    ErrorSink sink{errs};
+
+    // Split into lines; the line number in diagnostics is 1-based.
+    std::vector<std::string> lines;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = text.size();
+        std::string line = text.substr(pos, nl - pos);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(std::move(line));
+        pos = nl + 1;
+    }
+    while (!lines.empty() && lines.back().empty())
+        lines.pop_back();
+
+    if (lines.empty()) {
+        sink.add(1, "empty file (no MatrixMarket banner)");
+        return false;
+    }
+
+    // --- banner: %%MatrixMarket matrix coordinate <field> <symmetry> --
+    auto banner = fields(lines[0]);
+    bool bannerOk = banner.size() >= 5 &&
+        lowered(banner[0]) == "%%matrixmarket";
+    if (!bannerOk) {
+        sink.add(1, "missing '%%MatrixMarket matrix coordinate ...' "
+                    "banner");
+    } else {
+        if (lowered(banner[1]) != "matrix")
+            sink.add(1, "object '" + banner[1] +
+                        "' unsupported (only 'matrix')");
+        if (lowered(banner[2]) != "coordinate")
+            sink.add(1, "format '" + banner[2] +
+                        "' unsupported (only 'coordinate')");
+        std::string field = lowered(banner[3]);
+        if (field == "pattern")
+            out.pattern = true;
+        else if (field != "real" && field != "integer" &&
+                 field != "double")
+            sink.add(1, "field '" + banner[3] + "' unsupported (only "
+                        "real/integer/pattern)");
+        std::string sym = lowered(banner[4]);
+        if (sym == "general")
+            out.symmetry = MtxMatrix::Symmetry::General;
+        else if (sym == "symmetric")
+            out.symmetry = MtxMatrix::Symmetry::Symmetric;
+        else if (sym == "skew-symmetric")
+            out.symmetry = MtxMatrix::Symmetry::SkewSymmetric;
+        else
+            sink.add(1, "symmetry '" + banner[4] + "' unsupported (only "
+                        "general/symmetric/skew-symmetric)");
+    }
+
+    // --- size line: first non-comment, non-blank line after banner ---
+    size_t li = 1;
+    while (li < lines.size() &&
+           (lines[li].empty() || lines[li][0] == '%'))
+        li++;
+    if (li >= lines.size()) {
+        sink.add(lines.size(), "missing size line "
+                               "'<rows> <cols> <entries>'");
+        return false;
+    }
+    auto size = fields(lines[li]);
+    uint64_t rows = 0, cols = 0, entries = 0;
+    if (size.size() != 3 || !parseIndex(size[0], rows) ||
+        !parseIndex(size[1], cols) || !parseIndex(size[2], entries)) {
+        sink.add(li + 1, "malformed size line '" + lines[li] +
+                         "' (expected '<rows> <cols> <entries>')");
+        return false;
+    }
+    if (rows == 0 || cols == 0)
+        sink.add(li + 1, "matrix dimensions must be positive");
+    constexpr uint64_t kMaxDim = 1u << 28;
+    if (rows > kMaxDim || cols > kMaxDim)
+        sink.add(li + 1, strprintf("matrix dimensions exceed the "
+                                   "supported maximum %llu",
+                                   static_cast<unsigned long long>(
+                                       kMaxDim)));
+    out.rows = static_cast<uint32_t>(std::min(rows, kMaxDim));
+    out.cols = static_cast<uint32_t>(std::min(cols, kMaxDim));
+    out.declaredEntries = entries;
+    li++;
+
+    // --- entries ----------------------------------------------------
+    const size_t valueFields = out.pattern ? 2 : 3;
+    uint64_t seen = 0;
+    out.rowIdx.reserve(entries);
+    out.colIdx.reserve(entries);
+    out.vals.reserve(entries);
+    for (; li < lines.size(); li++) {
+        const std::string &line = lines[li];
+        if (line.empty() || line[0] == '%')
+            continue;  // tolerated: comments/blanks between entries
+        seen++;
+        if (seen > entries) {
+            if (seen == entries + 1)
+                sink.add(li + 1, strprintf(
+                    "more entries than the declared %llu",
+                    static_cast<unsigned long long>(entries)));
+            continue;
+        }
+        auto f = fields(line);
+        uint64_t r = 0, c = 0;
+        float v = 1.0f;
+        if (f.size() != valueFields || !parseIndex(f[0], r) ||
+            !parseIndex(f[1], c) ||
+            (!out.pattern && !parseValue(f[2], v))) {
+            sink.add(li + 1, "malformed entry '" + line + "'");
+            continue;
+        }
+        if (r < 1 || r > out.rows || c < 1 || c > out.cols) {
+            sink.add(li + 1, strprintf(
+                "index (%llu, %llu) outside %u x %u",
+                static_cast<unsigned long long>(r),
+                static_cast<unsigned long long>(c), out.rows,
+                out.cols));
+            continue;
+        }
+        if (out.symmetry != MtxMatrix::Symmetry::General && c > r) {
+            sink.add(li + 1, "entry above the diagonal in a "
+                             "symmetric matrix");
+            continue;
+        }
+        auto r0 = static_cast<uint32_t>(r - 1);
+        auto c0 = static_cast<uint32_t>(c - 1);
+        out.rowIdx.push_back(r0);
+        out.colIdx.push_back(c0);
+        out.vals.push_back(v);
+        if (out.symmetry != MtxMatrix::Symmetry::General && r0 != c0) {
+            out.rowIdx.push_back(c0);
+            out.colIdx.push_back(r0);
+            out.vals.push_back(
+                out.symmetry == MtxMatrix::Symmetry::SkewSymmetric
+                    ? -v : v);
+        }
+    }
+    if (seen < entries) {
+        sink.add(lines.size(), strprintf(
+            "truncated: %llu entr%s declared but only %llu found",
+            static_cast<unsigned long long>(entries),
+            entries == 1 ? "y" : "ies",
+            static_cast<unsigned long long>(seen)));
+    }
+    return sink.count == 0;
+}
+
+bool
+mtxReadFile(const std::string &path, MtxMatrix &out,
+            std::vector<std::string> *errs)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (errs)
+            errs->push_back("cannot read '" + path + "'");
+        return false;
+    }
+    std::string text;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    bool ioErr = std::ferror(f) != 0;
+    std::fclose(f);
+    if (ioErr) {
+        if (errs)
+            errs->push_back("I/O error reading '" + path + "'");
+        return false;
+    }
+    return mtxParse(text, out, errs);
+}
+
+CsrMatrix
+cooToCsr(const MtxMatrix &m)
+{
+    CsrMatrix csr;
+    csr.rows = m.rows;
+    csr.cols = m.cols;
+    const size_t n = m.rowIdx.size();
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        if (m.rowIdx[a] != m.rowIdx[b])
+            return m.rowIdx[a] < m.rowIdx[b];
+        return m.colIdx[a] < m.colIdx[b];
+    });
+    csr.rowPtr.assign(static_cast<size_t>(m.rows) + 1, 0);
+    for (size_t k : order) {
+        uint32_t r = m.rowIdx[k];
+        uint32_t c = m.colIdx[k];
+        if (!csr.col.empty() && csr.rowPtr[r + 1] > csr.rowPtr[r] &&
+            csr.col.back() == c &&
+            csr.rowPtr[static_cast<size_t>(r) + 1] == csr.col.size()) {
+            // Duplicate (same row and col as the previous kept entry
+            // of this row): sum, per the MatrixMarket convention.
+            csr.val.back() += m.vals[k];
+            continue;
+        }
+        csr.col.push_back(c);
+        csr.val.push_back(m.vals[k]);
+        csr.rowPtr[static_cast<size_t>(r) + 1] = csr.col.size();
+    }
+    // rowPtr[r+1] currently holds the end offset for non-empty rows
+    // only; propagate so every row has a valid [begin, end) range.
+    for (size_t r = 1; r < csr.rowPtr.size(); r++)
+        csr.rowPtr[r] = std::max(csr.rowPtr[r], csr.rowPtr[r - 1]);
+    return csr;
+}
+
+// ----------------------------------------------------------------------
+// Synthetic generators
+// ----------------------------------------------------------------------
+
+namespace {
+
+CsrMatrix
+fromRows(uint32_t n, std::vector<std::vector<uint32_t>> rowCols,
+         Rng &rng)
+{
+    CsrMatrix csr;
+    csr.rows = n;
+    csr.cols = n;
+    csr.rowPtr.assign(static_cast<size_t>(n) + 1, 0);
+    for (uint32_t r = 0; r < n; r++) {
+        auto &cols = rowCols[r];
+        std::sort(cols.begin(), cols.end());
+        cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+        for (uint32_t c : cols) {
+            csr.col.push_back(c);
+            csr.val.push_back(rng.uniformf(0.1f, 1.0f));
+        }
+        csr.rowPtr[static_cast<size_t>(r) + 1] = csr.col.size();
+    }
+    return csr;
+}
+
+} // namespace
+
+CsrMatrix
+mtxGenBanded(uint32_t n, uint32_t halfBand, uint64_t seed)
+{
+    Rng rng(seed ^ 0xba4dull);
+    std::vector<std::vector<uint32_t>> rows(n);
+    for (uint32_t r = 0; r < n; r++) {
+        int64_t lo = std::max<int64_t>(0,
+            static_cast<int64_t>(r) - halfBand);
+        int64_t hi = std::min<int64_t>(n - 1,
+            static_cast<int64_t>(r) + halfBand);
+        for (int64_t c = lo; c <= hi; c++) {
+            // The diagonal is always present; off-band taps are mostly
+            // present so band rows have slightly varying lengths.
+            if (c == r || rng.chance(0.9))
+                rows[r].push_back(static_cast<uint32_t>(c));
+        }
+    }
+    return fromRows(n, std::move(rows), rng);
+}
+
+CsrMatrix
+mtxGenUniform(uint32_t n, uint32_t avgDeg, uint64_t seed)
+{
+    Rng rng(seed ^ 0x41f0ull);
+    std::vector<std::vector<uint32_t>> rows(n);
+    for (uint32_t r = 0; r < n; r++) {
+        auto deg = static_cast<uint32_t>(rng.range(
+            std::max<int64_t>(1, avgDeg / 2), avgDeg + avgDeg / 2));
+        for (uint32_t k = 0; k < deg; k++)
+            rows[r].push_back(static_cast<uint32_t>(rng.below(n)));
+    }
+    return fromRows(n, std::move(rows), rng);
+}
+
+CsrMatrix
+mtxGenPowerLaw(uint32_t n, uint32_t avgDeg, double alpha, uint64_t seed)
+{
+    Rng rng(seed ^ 0xf01eull);
+    const auto maxDeg = std::min<uint32_t>(n, 16 * avgDeg);
+    std::vector<std::vector<uint32_t>> rows(n);
+    for (uint32_t r = 0; r < n; r++) {
+        // Heavy-tailed degree: most rows are short, a few are very
+        // long (the cross-lane-fallback stress case).
+        double u = std::max(rng.uniform(), 1e-9);
+        double d = 0.5 * avgDeg * std::pow(u, -1.0 / alpha);
+        auto deg = static_cast<uint32_t>(
+            std::clamp<double>(d, 1.0, maxDeg));
+        for (uint32_t k = 0; k < deg; k++) {
+            // Columns skewed toward low indices (hub columns).
+            double cu = rng.uniform();
+            auto c = static_cast<uint32_t>(
+                std::min<double>(n - 1.0, n * cu * cu));
+            rows[r].push_back(c);
+        }
+    }
+    return fromRows(n, std::move(rows), rng);
+}
+
+} // namespace isrf

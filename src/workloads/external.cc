@@ -1,0 +1,81 @@
+#include "workloads/external.h"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/mtx.h"
+#include "workloads/sparse.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+
+namespace {
+
+std::map<std::string, ExternalDataset> &
+datasets()
+{
+    static std::map<std::string, ExternalDataset> ds;
+    return ds;
+}
+
+/** "path/to/web-Google.mtx" -> "web-Google". */
+std::string
+fileStem(const std::string &path)
+{
+    size_t slash = path.find_last_of("/\\");
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base = base.substr(0, dot);
+    return base.empty() ? std::string("dataset") : base;
+}
+
+} // namespace
+
+bool
+registerExternalDataset(const std::string &path, std::string *nameOut,
+                        std::vector<std::string> *errs)
+{
+    MtxMatrix mtx;
+    if (!mtxReadFile(path, mtx, errs))
+        return false;
+
+    ExternalDataset ds;
+    ds.name = "SpMV:" + fileStem(path);
+    ds.path = path;
+    ds.rows = mtx.rows;
+    ds.cols = mtx.cols;
+    ds.nnz = mtx.nnz();
+    datasets()[ds.name] = ds;
+
+    const std::string name = ds.name;
+    const std::string file = ds.path;
+    registerWorkload(name, [name, file](const MachineConfig &cfg,
+                                        const WorkloadOptions &opts) {
+        // Re-read at run time: the fingerprint hashes the file's
+        // current bytes, so results always match the content hash
+        // recorded alongside them.
+        MtxMatrix m;
+        std::vector<std::string> perr;
+        if (!mtxReadFile(file, m, &perr)) {
+            std::string what = "dataset '" + file + "' unreadable";
+            for (const auto &e : perr)
+                what += "; " + e;
+            throw std::runtime_error(what);
+        }
+        return runSpmvCsr(name, cooToCsr(m), cfg, opts);
+    });
+    if (nameOut)
+        *nameOut = name;
+    return true;
+}
+
+const ExternalDataset *
+findExternalDataset(const std::string &workload)
+{
+    auto it = datasets().find(workload);
+    return it == datasets().end() ? nullptr : &it->second;
+}
+
+} // namespace isrf

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Histogram / scatter-reduce microbenchmark.
+ *
+ * Each lane bins a striped stream of hashed keys into a lane-private
+ * 256-bin table. On indexed machines the table is an SRF-resident
+ * in-lane read-write stream (the §7 "read-write data structures"
+ * extension) updated in place through the indexed ports; Base/Cache
+ * machines keep the bins in the cluster scratchpad and flush them with
+ * a final kernel. Lane-private tables are merged host-side during
+ * validation, so the check is exact integer equality.
+ */
+#ifndef ISRF_WORKLOADS_HISTOGRAM_H
+#define ISRF_WORKLOADS_HISTOGRAM_H
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+WorkloadResult runHistogram(const MachineConfig &cfg,
+                            const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_HISTOGRAM_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * SpMV over CSR: the sparse-matrix workload family (ROADMAP item 1).
+ *
+ * y = A*x with A in compressed-sparse-row form. The x vector is SRF
+ * resident per strip (local diagonal block + condensed out-of-strip
+ * columns, the IG strip scheme); on indexed machines each non-zero
+ * gathers its x element through the in-lane indexed port when the
+ * element happens to live in the processing lane and falls back to the
+ * cross-lane switch otherwise — long/wide rows naturally push traffic
+ * onto the cross-lane network. The Base machine streams a pre-expanded
+ * per-nonzero copy of x from memory; the Cache machine gathers the
+ * expansion through the vector cache, capturing column reuse.
+ */
+#ifndef ISRF_WORKLOADS_SPARSE_H
+#define ISRF_WORKLOADS_SPARSE_H
+
+#include "util/mtx.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** Built-in synthetic SpMV dataset workload names. */
+const std::vector<std::string> &spmvDatasetNames();
+
+/** Generate the matrix behind a built-in dataset name. */
+CsrMatrix spmvDatasetMatrix(const std::string &name, uint64_t seed);
+
+/** Reference y = A*x. */
+std::vector<float> spmvReference(const CsrMatrix &a,
+                                 const std::vector<float> &x);
+
+/** Run a built-in synthetic dataset (name from spmvDatasetNames()). */
+WorkloadResult runSpmv(const std::string &name, const MachineConfig &cfg,
+                       const WorkloadOptions &opts);
+
+/**
+ * Run SpMV over an arbitrary CSR matrix (external `.mtx` datasets come
+ * through here). Throws std::runtime_error when the matrix cannot be
+ * strip-mined into the SRF (the sweep driver reports a Failed outcome).
+ */
+WorkloadResult runSpmvCsr(const std::string &name, const CsrMatrix &csr,
+                          const MachineConfig &cfg,
+                          const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_SPARSE_H

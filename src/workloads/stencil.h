@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Parameterized 2D/3D stencil kernels (5/9/27-point).
+ *
+ * Strip-mined like Filter: each strip loads the rows (2D) or planes
+ * (3D) it updates plus a one-deep halo. On indexed machines every
+ * window row (2D: 3 rows, 3D: 3 planes x 3 rows) gets its own in-lane
+ * indexed view of the input buffer and the kernel reads the incoming
+ * column through the indexed ports, carrying the previous column
+ * partial sums across iterations; Base/Cache machines stream pixels
+ * sequentially through a scratchpad row-buffer ring.
+ */
+#ifndef ISRF_WORKLOADS_STENCIL_H
+#define ISRF_WORKLOADS_STENCIL_H
+
+#include "workloads/workload.h"
+
+namespace isrf {
+
+/** Stencil workload names: "Stencil 2D5", "Stencil 2D9", "Stencil 3D27". */
+const std::vector<std::string> &stencilShapeNames();
+
+WorkloadResult runStencil(const std::string &name,
+                          const MachineConfig &cfg,
+                          const WorkloadOptions &opts);
+
+} // namespace isrf
+
+#endif // ISRF_WORKLOADS_STENCIL_H

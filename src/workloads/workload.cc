@@ -5,16 +5,21 @@
 #include "util/log.h"
 #include "workloads/fft.h"
 #include "workloads/filter.h"
+#include "workloads/histogram.h"
 #include "workloads/igraph.h"
 #include "workloads/rijndael.h"
 #include "workloads/sort.h"
+#include "workloads/sparse.h"
+#include "workloads/stencil.h"
 
 namespace isrf {
 
-const std::map<std::string, WorkloadRunner> &
-workloadRegistry()
+namespace {
+
+std::map<std::string, WorkloadRunner> &
+mutableRegistry()
 {
-    static const std::map<std::string, WorkloadRunner> reg = [] {
+    static std::map<std::string, WorkloadRunner> reg = [] {
         std::map<std::string, WorkloadRunner> r;
         r["FFT 2D"] = runFft2d;
         r["Rijndael"] = runRijndael;
@@ -27,9 +32,57 @@ workloadRegistry()
                 return runIgraph(name, cfg, opts);
             };
         }
+        for (const auto &name : spmvDatasetNames()) {
+            r[name] = [name](const MachineConfig &cfg,
+                             const WorkloadOptions &opts) {
+                return runSpmv(name, cfg, opts);
+            };
+        }
+        for (const auto &name : stencilShapeNames()) {
+            r[name] = [name](const MachineConfig &cfg,
+                             const WorkloadOptions &opts) {
+                return runStencil(name, cfg, opts);
+            };
+        }
+        r["Histogram"] = runHistogram;
         return r;
     }();
     return reg;
+}
+
+} // namespace
+
+const std::map<std::string, WorkloadRunner> &
+workloadRegistry()
+{
+    return mutableRegistry();
+}
+
+void
+registerWorkload(const std::string &name, WorkloadRunner runner)
+{
+    mutableRegistry()[name] = std::move(runner);
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &kv : workloadRegistry())
+        names.push_back(kv.first);  // std::map iterates sorted
+    return names;
+}
+
+std::string
+workloadNamesJoined()
+{
+    std::string joined;
+    for (const auto &n : workloadNames()) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += n;
+    }
+    return joined;
 }
 
 WorkloadResult
@@ -46,7 +99,8 @@ runWorkload(const std::string &name, const MachineConfig &cfg,
     const auto &reg = workloadRegistry();
     auto it = reg.find(name);
     if (it == reg.end())
-        fatal("runWorkload: unknown workload '%s'", name.c_str());
+        fatal("runWorkload: unknown workload '%s'; registered: %s",
+              name.c_str(), workloadNamesJoined().c_str());
     return it->second(cfg, opts);
 }
 

@@ -83,6 +83,23 @@ using WorkloadRunner =
 const std::map<std::string, WorkloadRunner> &workloadRegistry();
 
 /**
+ * Register an additional workload (external datasets, test doubles).
+ * Call before the first bench/sweep run; later registrations replace
+ * earlier ones with the same name. Not thread-safe against concurrent
+ * registry readers — register during startup, before spawning workers.
+ */
+void registerWorkload(const std::string &name, WorkloadRunner runner);
+
+/**
+ * All registered workload names, alphabetized — the diagnostic shown
+ * when an unknown name reaches a bench driver or the daemon `run` op.
+ */
+std::vector<std::string> workloadNames();
+
+/** "a, b, c" rendering of workloadNames() for error messages. */
+std::string workloadNamesJoined();
+
+/**
  * Convenience: run a registered workload on a machine kind. The
  * machine config is MachineConfig::make(kind).fromEnv() — the one
  * explicit point where ISRF_* environment overrides apply.

@@ -25,7 +25,9 @@
 #include "core/machine.h"
 #include "driver/sweep_runner.h"
 #include "util/env.h"
+#include "util/json.h"
 #include "util/jsonl.h"
+#include "workloads/external.h"
 #include "workloads/workload.h"
 
 namespace isrf {
@@ -502,6 +504,109 @@ TEST(SweepResilienceDeathTest, StaleJournalIsRejectedNotMerged)
     policy.resume = true;
     EXPECT_EXIT(runner.run(drifted, policy),
                 ::testing::ExitedWithCode(1), "stale");
+}
+
+// ----------------------------------------------------------------------
+// External-dataset fingerprints (input-aware job identity)
+// ----------------------------------------------------------------------
+
+/**
+ * Write a small valid .mtx whose diagonal value is `diag`, register it
+ * as an external workload, and return the registered name. Re-writing
+ * the same path with a different `diag` models a user editing their
+ * input between sweeps.
+ */
+std::string
+makeDatasetWorkload(const std::string &path, const char *diag)
+{
+    std::string text =
+        "%%MatrixMarket matrix coordinate real general\n"
+        "8 8 8\n";
+    for (int i = 1; i <= 8; i++)
+        text += std::to_string(i) + " " + std::to_string(i) + " " +
+            diag + "\n";
+    EXPECT_TRUE(writeTextFile(path, text));
+    std::string name;
+    std::vector<std::string> errs;
+    EXPECT_TRUE(registerExternalDataset(path, &name, &errs))
+        << (errs.empty() ? "" : errs[0]);
+    return name;
+}
+
+TEST(DatasetFingerprint, TracksFileContentNotJustName)
+{
+    TempJournal file("ds_fp");  // reused as a temp .mtx path
+    std::string name = makeDatasetWorkload(file.path(), "4.0");
+
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix({name}, {MachineKind::Base}, opts);
+    const std::string canonical = SweepRunner::canonicalJobText(jobs[0]);
+    EXPECT_NE(canonical.find("dataset.path"), std::string::npos);
+    EXPECT_NE(canonical.find("dataset.bytes"), std::string::npos);
+    EXPECT_NE(canonical.find("dataset.fnv1a"), std::string::npos);
+    const uint64_t before = SweepRunner::fingerprint(jobs[0]);
+
+    // Same workload name, same size, different bytes: the fingerprint
+    // must move with the content hash.
+    makeDatasetWorkload(file.path(), "5.0");
+    const uint64_t after = SweepRunner::fingerprint(jobs[0]);
+    EXPECT_NE(before, after);
+
+    // Built-in workloads carry no dataset keys (their golden
+    // fingerprints are pinned elsewhere in this suite).
+    auto builtin =
+        SweepRunner::matrix({"Sort"}, {MachineKind::Base}, opts);
+    EXPECT_EQ(SweepRunner::canonicalJobText(builtin[0])
+                  .find("dataset."),
+              std::string::npos);
+}
+
+TEST(DatasetFingerprint, UnchangedDatasetResumesCleanly)
+{
+    TempJournal file("ds_ok");
+    std::string name = makeDatasetWorkload(file.path(), "4.0");
+    TempJournal journal("ds_ok_journal");
+
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix({name}, {MachineKind::Base}, opts);
+    SweepPolicy policy;
+    policy.journalPath = journal.path();
+    SweepRunner runner(1);
+    auto first = runner.run(jobs, policy);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0].status, RunStatus::Done);
+    EXPECT_TRUE(first[0].result.correct);
+
+    policy.resume = true;
+    auto again = runner.run(jobs, policy);
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_TRUE(again[0].fromJournal);
+    EXPECT_EQ(again[0].resultText, first[0].resultText);
+}
+
+TEST(SweepResilienceDeathTest, EditedDatasetMakesJournalStale)
+{
+    TempJournal file("ds_edit");
+    std::string name = makeDatasetWorkload(file.path(), "4.0");
+    TempJournal journal("ds_edit_journal");
+
+    WorkloadOptions opts;
+    opts.repeats = 1;
+    auto jobs = SweepRunner::matrix({name}, {MachineKind::Base}, opts);
+    SweepPolicy policy;
+    policy.journalPath = journal.path();
+    SweepRunner runner(1);
+    runner.run(jobs, policy);
+
+    // The user edits the matrix mid-experiment: resuming must reject
+    // the journal as stale (mentioning datasets), not splice results
+    // computed from the old bytes into the new experiment.
+    makeDatasetWorkload(file.path(), "6.5");
+    policy.resume = true;
+    EXPECT_EXIT(runner.run(jobs, policy),
+                ::testing::ExitedWithCode(1), "stale.*datasets");
 }
 
 TEST(SweepResilience, FingerprintSeparatesExperiments)

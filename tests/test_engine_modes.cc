@@ -143,6 +143,16 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, EngineEquivalence,
                                            "Filter", "IG_SML", "IG_DMS",
                                            "IG_DCS", "IG_SCL"));
 
+// The sparse & stencil family exercises paths the paper workloads do
+// not: variable-length per-lane traces (SpMV rows), dual-view
+// cross-lane/in-lane slot aliases, read-write indexed bin tables, and
+// scratchpad stencil rings. Same contract: skip is invisible.
+INSTANTIATE_TEST_SUITE_P(SparseWorkloads, EngineEquivalence,
+                         ::testing::Values("SpMV Banded", "SpMV Random",
+                                           "SpMV Power", "Stencil 2D5",
+                                           "Stencil 2D9", "Stencil 3D27",
+                                           "Histogram"));
+
 TEST(EngineEquivalenceExtras, SamplerAndWatchdogDoNotDiverge)
 {
     // The sampler forces dense ticks at interval boundaries and the

@@ -562,9 +562,14 @@ TEST(SweepService, ServesComputesThenByteIdenticalStoreHits)
     EXPECT_EQ(sc.computed, 1u);
     EXPECT_EQ(sc.storeHits, 1u);
 
-    // Unknown names are structured errors, not closed connections.
+    // Unknown names are structured errors, not closed connections,
+    // and the workload error lists the registered names so a typo'd
+    // request is self-diagnosing.
     ASSERT_TRUE(c.roundTrip(runRequest("NoSuch", "Base", 1), resp));
     EXPECT_NE(resp.find("unknown_workload"), std::string::npos);
+    EXPECT_NE(resp.find("registered:"), std::string::npos);
+    EXPECT_NE(resp.find("FFT 2D"), std::string::npos);
+    EXPECT_NE(resp.find("Histogram"), std::string::npos);
     ASSERT_TRUE(c.roundTrip(runRequest("Filter", "Turbo", 1), resp));
     EXPECT_NE(resp.find("unknown_machine"), std::string::npos);
     ASSERT_TRUE(c.roundTrip("garbage", resp));

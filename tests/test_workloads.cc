@@ -66,6 +66,24 @@ INSTANTIATE_TEST_SUITE_P(
             std::string(machineKindName(std::get<1>(info.param)));
     });
 
+// The sparse & stencil family goes through the same contract: correct
+// on every machine kind with every lane-cycle classified.
+INSTANTIATE_TEST_SUITE_P(
+    SparseFamilyAllMachines, WorkloadCorrectness,
+    ::testing::Combine(
+        ::testing::Values("SpMV Banded", "SpMV Power", "Stencil 2D9",
+                          "Stencil 3D27", "Histogram"),
+        ::testing::Values(MachineKind::Base, MachineKind::ISRF1,
+                          MachineKind::ISRF4, MachineKind::Cache)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param);
+        for (auto &c : n)
+            if (c == ' ')
+                c = '_';
+        return n + "_" +
+            std::string(machineKindName(std::get<1>(info.param)));
+    });
+
 TEST(WorkloadShape, Fft2dTrafficHalvesOnIsrf)
 {
     double ratio =
@@ -248,15 +266,21 @@ TEST(WorkloadShape, SeedChangesDataButNotCorrectness)
     EXPECT_TRUE(r.correct);
 }
 
-TEST(WorkloadRegistry, ContainsAllEightBenchmarks)
+TEST(WorkloadRegistry, ContainsAllBuiltinBenchmarks)
 {
     const auto &reg = workloadRegistry();
-    EXPECT_EQ(reg.size(), 8u);
+    // 8 paper benchmarks + the sparse & stencil family (3 SpMV
+    // datasets, 3 stencil shapes, histogram).
+    EXPECT_EQ(reg.size(), 15u);
     for (const char *name : {"FFT 2D", "Rijndael", "Sort", "Filter",
-                             "IG_SML", "IG_SCL", "IG_DMS", "IG_DCS"})
+                             "IG_SML", "IG_SCL", "IG_DMS", "IG_DCS",
+                             "SpMV Banded", "SpMV Random", "SpMV Power",
+                             "Stencil 2D5", "Stencil 2D9",
+                             "Stencil 3D27", "Histogram"})
         EXPECT_TRUE(reg.count(name)) << name;
+    // The unknown-name diagnostic lists every registered workload.
     EXPECT_DEATH(runWorkload("nope", MachineKind::Base, fastOpts()),
-                 "unknown workload");
+                 "unknown workload.*registered:.*FFT 2D");
 }
 
 } // namespace

@@ -5,7 +5,7 @@
  *   isrf_sweepd --socket /tmp/isrf.sock [--tcp-port N] [--workers N]
  *               [--queue-max N] [--deadline-ms MS] [--max-deadline-ms MS]
  *               [--retries N] [--store FILE] [--store-max-bytes N]
- *               [--allow-test-jobs] [--verbose]
+ *               [--allow-test-jobs] [--dataset FILE.mtx] [--verbose]
  *
  * See src/service/protocol.h for the wire protocol and
  * src/service/server.h for the serving semantics (admission control,
@@ -27,9 +27,12 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "service/server.h"
+#include "util/env.h"
 #include "util/log.h"
+#include "workloads/external.h"
 
 using namespace isrf;
 
@@ -62,24 +65,16 @@ usage(const char *argv0)
         "  --store-max-bytes <n>  store LRU budget (default 64 MiB)\n"
         "  --allow-test-jobs      accept the synthetic '__hang__' "
         "workload\n"
+        "  --dataset <file.mtx>   register a MatrixMarket file as an\n"
+        "                         'SpMV:<stem>' workload (repeatable)\n"
         "  --verbose              log each request to stderr\n",
         argv0);
 }
 
 bool
-parseU64(const char *s, uint64_t &out)
-{
-    char *end = nullptr;
-    out = std::strtoull(s, &end, 10);
-    return end && *end == '\0' && end != s;
-}
-
-bool
 parseNonNegDouble(const char *s, double &out)
 {
-    char *end = nullptr;
-    out = std::strtod(s, &end);
-    return end && *end == '\0' && end != s && out >= 0.0;
+    return parseF64(s, out) && out >= 0.0;
 }
 
 } // namespace
@@ -132,6 +127,23 @@ main(int argc, char **argv)
             if (!parseU64(next("--store-max-bytes"), u))
                 fatal("--store-max-bytes expects a byte count");
             cfg.storeMaxBytes = u;
+        } else if (s == "--dataset") {
+            // Registered before svc.start(), so daemon workers never
+            // race the registry and `run` requests can name the
+            // dataset workload immediately.
+            std::string path = next("--dataset");
+            std::string name;
+            std::vector<std::string> errs;
+            if (!registerExternalDataset(path, &name, &errs)) {
+                std::fprintf(stderr,
+                             "--dataset: cannot load '%s':\n",
+                             path.c_str());
+                for (const auto &e : errs)
+                    std::fprintf(stderr, "  %s\n", e.c_str());
+                return 2;
+            }
+            std::fprintf(stderr, "isrf_sweepd: registered dataset "
+                         "workload '%s'\n", name.c_str());
         } else if (s == "--allow-test-jobs") {
             cfg.allowTestJobs = true;
         } else if (s == "--verbose") {

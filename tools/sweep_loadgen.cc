@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/env.h"
 #include "util/json.h"
 #include "util/jsonl.h"
 #include "util/log.h"
@@ -246,33 +247,77 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        // Validated numeric parsing (util/env.h): junk like "10x",
+        // "", or an overflowing literal is a usage error, not a
+        // silently truncated strtoll result.
+        auto flagError = [&](const char *flag, const std::string &why) {
+            std::fprintf(stderr, "%s %s\n", flag, why.c_str());
+            usage(argv[0]);
+            std::exit(2);
+        };
+        auto badNumber = [&](const char *flag, const char *v) {
+            flagError(flag, "expects a number, got '" +
+                      std::string(v) + "'");
+        };
+        auto numU64 = [&](const char *flag) -> uint64_t {
+            const char *v = next(flag);
+            uint64_t n = 0;
+            if (!parseU64(v, n))
+                badNumber(flag, v);
+            return n;
+        };
+        auto numI64 = [&](const char *flag) -> int64_t {
+            const char *v = next(flag);
+            int64_t n = 0;
+            if (!parseI64(v, n))
+                badNumber(flag, v);
+            return n;
+        };
+        auto numF64 = [&](const char *flag) -> double {
+            const char *v = next(flag);
+            double d = 0;
+            if (!parseF64(v, d))
+                badNumber(flag, v);
+            return d;
+        };
         if (s == "--socket") {
             args.socketPath = next("--socket");
         } else if (s == "--requests") {
-            args.requests = std::strtoull(next("--requests"), nullptr,
-                                          10);
+            args.requests = numU64("--requests");
         } else if (s == "--connections") {
-            args.connections = static_cast<unsigned>(
-                std::strtoul(next("--connections"), nullptr, 10));
+            uint64_t n = numU64("--connections");
+            if (n == 0 || n > 1024)
+                flagError("--connections", "expects [1,1024]");
+            args.connections = static_cast<unsigned>(n);
         } else if (s == "--hot") {
-            args.hotSet = std::strtoull(next("--hot"), nullptr, 10);
+            args.hotSet = numU64("--hot");
         } else if (s == "--hot-frac") {
-            args.hotFrac = std::strtod(next("--hot-frac"), nullptr);
+            double f = numF64("--hot-frac");
+            if (f < 0.0 || f > 1.0)
+                flagError("--hot-frac", "expects [0,1]");
+            args.hotFrac = f;
         } else if (s == "--workloads") {
             args.workloads = splitCsv(next("--workloads"));
         } else if (s == "--machines") {
             args.machines = splitCsv(next("--machines"));
         } else if (s == "--repeats") {
-            args.repeats = static_cast<uint32_t>(
-                std::strtoul(next("--repeats"), nullptr, 10));
+            uint64_t n = numU64("--repeats");
+            if (n == 0 || n > 0xffffffffull)
+                flagError("--repeats", "expects [1,2^32)");
+            args.repeats = static_cast<uint32_t>(n);
         } else if (s == "--seed") {
-            args.seed = std::strtoull(next("--seed"), nullptr, 10);
+            args.seed = numU64("--seed");
         } else if (s == "--deadline-ms") {
-            args.deadlineMs = std::strtod(next("--deadline-ms"),
-                                          nullptr);
+            double ms = numF64("--deadline-ms");
+            if (ms < 0.0)
+                flagError("--deadline-ms", "expects a non-negative "
+                          "number");
+            args.deadlineMs = ms;
         } else if (s == "--retries") {
-            args.retries = std::strtoll(next("--retries"), nullptr,
-                                        10);
+            int64_t n = numI64("--retries");
+            if (n < -1 || n > 100)
+                flagError("--retries", "expects [-1,100]");
+            args.retries = n;
         } else if (s == "--json") {
             args.jsonPath = next("--json");
         } else if (s == "--dump") {
