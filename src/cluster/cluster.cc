@@ -320,6 +320,162 @@ Cluster::skipCycles(Cycle from, Cycle to)
 }
 
 void
+Cluster::saveState(SnapshotWriter &w) const
+{
+    w.b(inv_ != nullptr);
+    w.u64(bindCycle_);
+    w.u64(itersIssued_);
+    w.u64(nextIssue_);
+    w.u64(lastIssue_);
+    w.u32(pendingCommSends_);
+    w.u64(dataNeeds_.size());
+    for (const auto &q : dataNeeds_) {
+        w.u64(q.size());
+        for (Cycle c : q)
+            w.u64(c);
+    }
+    for (size_t v : seqWriteCur_)
+        w.u64(v);
+    for (size_t v : idxReadCur_)
+        w.u64(v);
+    for (size_t v : idxWriteCur_)
+        w.u64(v);
+    for (const auto &q : pendingOut_) {
+        w.u64(q.size());
+        for (Word x : q)
+            w.u32(x);
+    }
+    for (uint32_t v : pendingIn_)
+        w.u32(v);
+    for (const auto &q : pendingIdxR_) {
+        w.u64(q.size());
+        for (uint32_t x : q)
+            w.u32(x);
+    }
+    for (const auto &q : pendingIdxW_) {
+        w.u64(q.size());
+        for (const IdxWriteTraceEntry &e : q) {
+            w.u32(e.recordIndex);
+            for (Word d : e.data)
+                w.u32(d);
+        }
+    }
+    w.u64(cycles_.loopBody);
+    w.u64(cycles_.overhead);
+    w.u64(cycles_.srfStall);
+    w.u64(cycles_.idle);
+    w.u8(static_cast<uint8_t>(lastCat_));
+    w.b(doneReported_);
+}
+
+bool
+Cluster::loadState(SnapshotReader &r)
+{
+    bool bound = false;
+    if (!r.b(bound))
+        return false;
+    // The machine restoreBind()s us to the rebuilt invocation (or to
+    // nullptr) before handing over the reader; a mismatch means the
+    // program state and machine state disagree — reject, don't guess.
+    if (bound != (inv_ != nullptr)) {
+        r.markFailed();
+        return false;
+    }
+    uint64_t nslots = 0;
+    if (!r.u64(bindCycle_) || !r.u64(itersIssued_) ||
+        !r.u64(nextIssue_) || !r.u64(lastIssue_) ||
+        !r.u32(pendingCommSends_) || !r.len(nslots, 1))
+        return false;
+    if (inv_ && nslots != inv_->slots.size()) {
+        r.markFailed();
+        return false;
+    }
+    dataNeeds_.assign(nslots, {});
+    for (auto &q : dataNeeds_) {
+        uint64_t nq = 0;
+        if (!r.len(nq, 8))
+            return false;
+        for (uint64_t i = 0; i < nq; i++) {
+            Cycle c = 0;
+            if (!r.u64(c))
+                return false;
+            q.push_back(c);
+        }
+    }
+    seqWriteCur_.assign(nslots, 0);
+    idxReadCur_.assign(nslots, 0);
+    idxWriteCur_.assign(nslots, 0);
+    for (size_t &v : seqWriteCur_) {
+        uint64_t x = 0;
+        if (!r.u64(x))
+            return false;
+        v = static_cast<size_t>(x);
+    }
+    for (size_t &v : idxReadCur_) {
+        uint64_t x = 0;
+        if (!r.u64(x))
+            return false;
+        v = static_cast<size_t>(x);
+    }
+    for (size_t &v : idxWriteCur_) {
+        uint64_t x = 0;
+        if (!r.u64(x))
+            return false;
+        v = static_cast<size_t>(x);
+    }
+    pendingOut_.assign(nslots, {});
+    for (auto &q : pendingOut_) {
+        uint64_t nq = 0;
+        if (!r.len(nq, 4))
+            return false;
+        for (uint64_t i = 0; i < nq; i++) {
+            Word x = 0;
+            if (!r.u32(x))
+                return false;
+            q.push_back(x);
+        }
+    }
+    pendingIn_.assign(nslots, 0);
+    for (uint32_t &v : pendingIn_)
+        if (!r.u32(v))
+            return false;
+    pendingIdxR_.assign(nslots, {});
+    for (auto &q : pendingIdxR_) {
+        uint64_t nq = 0;
+        if (!r.len(nq, 4))
+            return false;
+        for (uint64_t i = 0; i < nq; i++) {
+            uint32_t x = 0;
+            if (!r.u32(x))
+                return false;
+            q.push_back(x);
+        }
+    }
+    pendingIdxW_.assign(nslots, {});
+    for (auto &q : pendingIdxW_) {
+        uint64_t nq = 0;
+        if (!r.len(nq, 20))
+            return false;
+        for (uint64_t i = 0; i < nq; i++) {
+            IdxWriteTraceEntry e;
+            if (!r.u32(e.recordIndex))
+                return false;
+            for (Word &d : e.data)
+                if (!r.u32(d))
+                    return false;
+            q.push_back(e);
+        }
+    }
+    uint8_t cat = 0;
+    if (!r.u64(cycles_.loopBody) || !r.u64(cycles_.overhead) ||
+        !r.u64(cycles_.srfStall) || !r.u64(cycles_.idle) ||
+        !r.u8(cat) || !r.b(doneReported_))
+        return false;
+    lastCat_ = static_cast<CycleCat>(cat);
+    return true;
+}
+
+void
 Cluster::tick(Cycle now)
 {
     if (!inv_) {

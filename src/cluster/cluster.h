@@ -154,6 +154,21 @@ class Cluster
     /** How this lane spent the most recent cycle. */
     CycleCat lastCat() const { return lastCat_; }
 
+    // ------------------------------------------------------------------
+    // Snapshot (util/snapshot.h, DESIGN.md §17)
+    // ------------------------------------------------------------------
+
+    /**
+     * Point this lane back at a deterministically rebuilt invocation
+     * (or nullptr for an unbound lane) WITHOUT resetting progress —
+     * snapshot restore only; loadState() then refills the cursors and
+     * pending queues. Normal kernel launches go through bind().
+     */
+    void restoreBind(const KernelInvocation *inv) { inv_ = inv; }
+
+    void saveState(SnapshotWriter &w) const;
+    bool loadState(SnapshotReader &r);
+
   private:
     bool resourcesReady(Cycle now) const;
     void issueIteration(Cycle now);

@@ -139,7 +139,36 @@ class StreamProgram
 
     Machine &machine() { return machine_; }
 
+    // ------------------------------------------------------------------
+    // Snapshot (util/snapshot.h, DESIGN.md §17)
+    //
+    // The program GRAPH (streams, ops, dependencies) is rebuilt
+    // deterministically by the workload from its config before run();
+    // only the runtime cursor (per-op issued/completed/memId, the scan
+    // window, the active kernel op) travels in the checkpoint, guarded
+    // by a structural hash of the rebuilt graph. run() restores from
+    // the machine's CheckpointContext before its first step and saves
+    // whenever the context says a checkpoint is due.
+    // ------------------------------------------------------------------
+
+    /** FNV-1a over the op graph's structure (kinds, slots, deps). */
+    uint64_t structureHash() const;
+
+    /** Runtime cursor only (see above). */
+    void saveState(SnapshotWriter &w) const;
+    bool loadState(SnapshotReader &r);
+
   private:
+    /**
+     * Try to resume from the context's checkpoint file. Missing,
+     * stale, or other-program checkpoints are skipped (warn only);
+     * corrupt files are quarantined; a verified snapshot is applied to
+     * the program and the machine.
+     */
+    void maybeRestore(CheckpointContext &ckpt);
+
+    /** Serialize program + machine and write atomically. */
+    void saveCheckpoint(CheckpointContext &ckpt);
     struct Op
     {
         enum class Kind { Mem, Kernel } kind;

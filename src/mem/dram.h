@@ -134,6 +134,15 @@ class Dram
         randomWords_ = 0;
     }
 
+    /**
+     * Snapshot (util/snapshot.h): functional storage is run-length
+     * encoded ((count, value) runs — checkpoints stay small while most
+     * of DRAM is untouched zeros), plus ECC, row-buffer state, the
+     * token bucket and counters. Capacity is init() state, must match.
+     */
+    void saveState(SnapshotWriter &w) const;
+    bool loadState(SnapshotReader &r);
+
   private:
     DramConfig cfg_;
     /** mutable: read() scrubs corrected words back in place. */

@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -21,6 +22,14 @@ namespace isrf {
 namespace {
 
 constexpr int kPollMs = 100;  ///< listener/connection wake-up tick
+
+/**
+ * Per-connection receive-buffer cap: the longest unterminated request
+ * line the server will accumulate before rejecting the connection.
+ * Legitimate requests are well under 1 KiB; 1 MiB leaves room for any
+ * future request shape while bounding what one peer can pin.
+ */
+constexpr size_t kMaxRequestBytes = 1 << 20;
 
 double
 secondsSince(std::chrono::steady_clock::time_point t0)
@@ -149,6 +158,14 @@ SweepService::start(const ServiceConfig &cfg)
     workloadRegistry();
     Profiler::instance();
 
+    if (!cfg_.checkpointDir.empty()) {
+        std::string err;
+        if (!ensureCheckpointDir(cfg_.checkpointDir, err)) {
+            std::fprintf(stderr, "isrf_sweepd: %s\n", err.c_str());
+            return false;
+        }
+    }
+
     if (!store_.open(cfg_.storePath, cfg_.storeMaxBytes)) {
         std::fprintf(stderr, "isrf_sweepd: cannot open result store "
                      "'%s'\n", cfg_.storePath.c_str());
@@ -243,6 +260,14 @@ SweepService::requestStop()
     stopToken_.cancel();
 }
 
+void
+SweepService::requestCheckpointAll()
+{
+    std::lock_guard<std::mutex> lock(ckptMu_);
+    for (CheckpointContext *c : activeCheckpoints_)
+        c->requestSave();
+}
+
 size_t
 SweepService::pendingJobs() const
 {
@@ -323,13 +348,29 @@ SweepService::serveConnection(int fd)
 {
     std::string buf;
     char chunk[1 << 14];
+    double idleMs = 0.0;
     while (!stopping_.load(std::memory_order_relaxed)) {
         pollfd p{fd, POLLIN, 0};
         int rc = ::poll(&p, 1, kPollMs);
         if (rc < 0 && errno != EINTR)
             break;
-        if (rc <= 0)
+        if (rc <= 0) {
+            // No bytes this tick: charge the poll interval against the
+            // idle budget. Any received data resets it below.
+            idleMs += kPollMs;
+            if (cfg_.idleTimeoutMs > 0.0 &&
+                idleMs >= cfg_.idleTimeoutMs) {
+                {
+                    std::lock_guard<std::mutex> lock(cmu_);
+                    counters_.idleDisconnects++;
+                }
+                if (cfg_.verbose)
+                    std::fprintf(stderr, "isrf_sweepd: closing idle "
+                                 "connection (%.0f ms)\n", idleMs);
+                break;
+            }
             continue;
+        }
         ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
         if (n == 0)
             break;  // peer closed
@@ -338,7 +379,24 @@ SweepService::serveConnection(int fd)
                 continue;
             break;
         }
+        idleMs = 0.0;
         buf.append(chunk, static_cast<size_t>(n));
+        // Admission control for bytes: a peer may not stream an
+        // unbounded line into our memory. Past the cap with no
+        // newline in sight, answer with a structured error and hang
+        // up — the line could never parse anyway.
+        if (buf.size() > kMaxRequestBytes &&
+            buf.find('\n') == std::string::npos) {
+            {
+                std::lock_guard<std::mutex> lock(cmu_);
+                counters_.requestTooLarge++;
+            }
+            sendLine(fd, errorResponseJson(
+                "", "request_too_large",
+                strprintf("request line exceeds %zu bytes",
+                          kMaxRequestBytes)));
+            break;
+        }
         size_t nl;
         bool dead = false;
         while ((nl = buf.find('\n')) != std::string::npos) {
@@ -532,6 +590,10 @@ SweepService::statsResponseLocked(const std::string &id)
     w.field("failed", c.failed);
     w.field("stalled", c.stalled);
     w.field("retried_attempts", c.retriedAttempts);
+    w.field("request_too_large", c.requestTooLarge);
+    w.field("idle_disconnects", c.idleDisconnects);
+    w.field("checkpoint_saves", c.checkpointSaves);
+    w.field("checkpoint_restores", c.checkpointRestores);
     w.endObject();
     w.key("store").beginObject();
     w.field("persistent", ss.persistent);
@@ -664,11 +726,26 @@ SweepService::executeJob(PendingJob &p)
     const uint32_t maxAttempts = 1 + p.retries;
     Rng jitter(p.fp ^ 0x9e3779b97f4a7c15ull);
 
+    // One context per job, shared across attempts and registered so
+    // requestCheckpointAll() (periodic tick, SIGTERM drain) reaches
+    // it. requestSave() is the only cross-thread call; everything else
+    // stays on this worker.
+    std::unique_ptr<CheckpointContext> ckpt;
+    if (!cfg_.checkpointDir.empty()) {
+        ckpt = std::make_unique<CheckpointContext>(
+            checkpointFilePath(cfg_.checkpointDir, p.fp), p.fp,
+            cfg_.checkpointEveryCycles);
+        std::lock_guard<std::mutex> lock(ckptMu_);
+        activeCheckpoints_.push_back(ckpt.get());
+    }
+
     for (uint32_t attempt = 1; attempt <= maxAttempts; attempt++) {
         CancelToken attemptToken;
         attemptToken.chainTo(&p.token);
         WorkloadOptions opts = p.job.opts;
         opts.cancel = &attemptToken;
+        if (ckpt)
+            opts.checkpoint = ckpt.get();
 
         auto t0 = std::chrono::steady_clock::now();
         WorkloadResult r;
@@ -725,6 +802,25 @@ SweepService::executeJob(PendingJob &p)
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(10));
         }
+    }
+
+    if (ckpt) {
+        {
+            std::lock_guard<std::mutex> lock(ckptMu_);
+            activeCheckpoints_.erase(
+                std::find(activeCheckpoints_.begin(),
+                          activeCheckpoints_.end(), ckpt.get()));
+        }
+        {
+            std::lock_guard<std::mutex> lock(cmu_);
+            counters_.checkpointSaves += ckpt->saves();
+            counters_.checkpointRestores += ckpt->restores();
+        }
+        // Deterministic outcomes go to the result store; their
+        // checkpoint will never be read again. TimedOut/Cancelled
+        // keep theirs so a re-submission resumes mid-flight.
+        if (SweepRunner::replayable(o.status))
+            ckpt->removeFile();
     }
     finish(o.status);
 }

@@ -65,6 +65,7 @@
 #include "driver/sweep_runner.h"
 #include "service/protocol.h"
 #include "service/store.h"
+#include "util/snapshot.h"
 
 namespace isrf {
 
@@ -101,6 +102,24 @@ struct ServiceConfig
     bool allowTestJobs = false;
     /** Log one line per request to stderr. */
     bool verbose = false;
+    /**
+     * Mid-job checkpoint directory ("" = checkpointing off). Running
+     * jobs write <dir>/job-<fingerprint>.ckpt every
+     * checkpointEveryCycles simulated cycles, plus whenever
+     * requestCheckpointAll() fires (the daemon's periodic tick and its
+     * SIGTERM drain); a re-submitted job resumes from its newest valid
+     * checkpoint.
+     */
+    std::string checkpointDir;
+    /** Checkpoint cadence in simulated cycles (0 = only on request). */
+    uint64_t checkpointEveryCycles = 0;
+    /**
+     * Per-connection idle timeout in milliseconds (0 = no timeout): a
+     * connection that sends no bytes for this long is closed and
+     * counted, so abandoned clients cannot pin connection threads (and
+     * their fds) forever.
+     */
+    double idleTimeoutMs = 0.0;
 };
 
 /** Monotonic counters exposed through the stats endpoint. */
@@ -122,6 +141,10 @@ struct ServiceCounters
     uint64_t failed = 0;
     uint64_t stalled = 0;
     uint64_t retriedAttempts = 0; ///< extra attempts beyond the first
+    uint64_t requestTooLarge = 0; ///< oversized request lines dropped
+    uint64_t idleDisconnects = 0; ///< connections closed for idleness
+    uint64_t checkpointSaves = 0;
+    uint64_t checkpointRestores = 0;
 };
 
 class SweepService
@@ -166,6 +189,15 @@ class SweepService
 
     ServiceCounters counters() const;
     const ResultStore &store() const { return store_; }
+
+    /**
+     * Ask every running job to checkpoint at its next cycle boundary
+     * (no-op without ServiceConfig::checkpointDir). Called by the
+     * daemon's main loop on a periodic tick and again right after a
+     * SIGTERM drain begins — NOT from requestDrain() itself, which
+     * must stay async-signal-safe (this call takes a mutex).
+     */
+    void requestCheckpointAll();
 
     /** The synthetic always-hanging workload name (see allowTestJobs). */
     static constexpr const char *kHangWorkload = "__hang__";
@@ -221,6 +253,10 @@ class SweepService
     mutable std::mutex cmu_;
     ServiceCounters counters_;
     std::atomic<uint64_t> liveConnections_{0};
+
+    /** Contexts of currently running jobs (requestCheckpointAll). */
+    std::mutex ckptMu_;
+    std::vector<CheckpointContext *> activeCheckpoints_;
 
     std::vector<std::thread> acceptors_;
     std::vector<std::thread> workers_;

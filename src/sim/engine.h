@@ -252,6 +252,20 @@ class Engine
     // absolute cycle numbers (watchdog checks, sampler boundaries,
     // fault schedules). Use clear() and re-register instead.
 
+    /**
+     * Snapshot restore only (Machine::loadSnapshot): set the clock to
+     * the checkpointed cycle. Callers must restore every registered
+     * component's absolute-cycle state in the same operation — the
+     * exact desynchronization hazard that got resetClock() removed is
+     * why this is not a general-purpose setter.
+     */
+    void
+    restoreClock(Cycle now)
+    {
+        now_ = now;
+        nextDeadlineCheck_ = 0;
+    }
+
     size_t componentCount() const { return components_.size(); }
 
   private:

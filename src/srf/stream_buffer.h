@@ -17,6 +17,7 @@
 #include <deque>
 
 #include "sim/ticked.h"
+#include "util/snapshot.h"
 
 namespace isrf {
 
@@ -74,6 +75,31 @@ class SeqBuffer
     }
 
     void clear() { words_.clear(); }
+
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u32(capacity_);
+        w.u64(words_.size());
+        for (Word x : words_)
+            w.u32(x);
+    }
+
+    bool
+    loadState(SnapshotReader &r)
+    {
+        uint64_t n = 0;
+        if (!r.u32(capacity_) || !r.len(n, 4))
+            return false;
+        words_.clear();
+        for (uint64_t i = 0; i < n; i++) {
+            Word x;
+            if (!r.u32(x))
+                return false;
+            words_.push_back(x);
+        }
+        return true;
+    }
 
   private:
     uint32_t capacity_;
@@ -160,6 +186,43 @@ class IdxDataBuffer
     }
 
     void clear() { pending_.clear(); }
+
+    void
+    saveState(SnapshotWriter &w) const
+    {
+        w.u32(capacity_);
+        w.u64(pending_.size());
+        for (const IdxPending &p : pending_) {
+            w.u64(p.seqNo);
+            w.u32(p.wordsNeeded);
+            w.u32(p.wordsDone);
+            for (Word x : p.data)
+                w.u32(x);
+            w.u64(p.readyCycle);
+        }
+    }
+
+    bool
+    loadState(SnapshotReader &r)
+    {
+        uint64_t n = 0;
+        if (!r.u32(capacity_) || !r.len(n, 40))
+            return false;
+        pending_.clear();
+        for (uint64_t i = 0; i < n; i++) {
+            IdxPending p;
+            if (!r.u64(p.seqNo) || !r.u32(p.wordsNeeded) ||
+                !r.u32(p.wordsDone))
+                return false;
+            for (Word &x : p.data)
+                if (!r.u32(x))
+                    return false;
+            if (!r.u64(p.readyCycle))
+                return false;
+            pending_.push_back(p);
+        }
+        return true;
+    }
 
   private:
     uint32_t capacity_;

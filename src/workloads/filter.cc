@@ -127,6 +127,7 @@ runFilter(const MachineConfig &machineCfg, const WorkloadOptions &opts)
     Machine m;
     m.init(cfg);
     m.engine().setCancel(opts.cancel);
+    m.setCheckpoint(opts.checkpoint);
 
     WorkloadResult res;
     res.workload = "Filter";

@@ -164,6 +164,7 @@ runSpmvCsr(const std::string &name, const CsrMatrix &csr,
     Machine m;
     m.init(cfg);
     m.engine().setCancel(opts.cancel);
+    m.setCheckpoint(opts.checkpoint);
 
     WorkloadResult res;
     res.workload = name;

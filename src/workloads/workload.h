@@ -72,6 +72,15 @@ struct WorkloadOptions
      * identical with or without a (untripped) token.
      */
     const CancelToken *cancel = nullptr;
+    /**
+     * Mid-job checkpoint/restore context (util/snapshot.h); nullptr =
+     * checkpointing off. Attached to the machine before run() so
+     * StreamProgram::run resumes from the newest valid checkpoint and
+     * saves on the configured cycle cadence. Like `cancel`, not part of
+     * the simulation outcome: a completed run's result is identical
+     * with or without a context.
+     */
+    CheckpointContext *checkpoint = nullptr;
 };
 
 /** Signature of a workload runner. */

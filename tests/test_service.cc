@@ -12,9 +12,11 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -464,6 +466,60 @@ class ServiceClient
     }
     bool connected() const { return fd_ >= 0; }
 
+    /** Send bytes verbatim — no newline appended (cap/idle tests). */
+    bool
+    sendRaw(const std::string &bytes)
+    {
+        size_t off = 0;
+        while (off < bytes.size()) {
+            ssize_t n = ::send(fd_, bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    /** Wait for one response line (or peer close -> false). */
+    bool
+    readLine(std::string &resp)
+    {
+        for (;;) {
+            size_t nl = buf_.find('\n');
+            if (nl != std::string::npos) {
+                resp = buf_.substr(0, nl);
+                buf_.erase(0, nl + 1);
+                return true;
+            }
+            char chunk[8192];
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n <= 0)
+                return false;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
+    /**
+     * Block until the server closes the connection. EOF and
+     * ECONNRESET both count: a server that closes with unread bytes
+     * still queued (the oversized-line case) resets rather than
+     * half-closing.
+     */
+    bool
+    waitForClose()
+    {
+        char chunk[8192];
+        for (;;) {
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n == 0)
+                return true;
+            if (n < 0)
+                return errno == ECONNRESET;
+            buf_.append(chunk, static_cast<size_t>(n));
+        }
+    }
+
     /** Send one request line, wait for one response line. */
     bool
     roundTrip(const std::string &req, std::string &resp)
@@ -815,6 +871,133 @@ TEST(SweepService, StoreHitsSurviveRestartByteIdentically)
 
     svc.requestStop();
     svc.shutdown();
+}
+
+TEST(SweepService, OversizedRequestLineRejectedWithStructuredError)
+{
+    const std::string sock = socketPath("big");
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 1;
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+
+    // A well-formed small request on the same connection first, so the
+    // cap provably applies per-line, not per-connection-lifetime.
+    ServiceClient c(sock);
+    ASSERT_TRUE(c.connected());
+    std::string resp;
+    ASSERT_TRUE(c.roundTrip("{\"op\":\"ping\"}", resp));
+    EXPECT_NE(resp.find("\"pong\""), std::string::npos);
+
+    // Now stream >1 MiB with no newline: the server must answer with a
+    // structured request_too_large error and close — never buffer
+    // without bound, never just drop the connection silently.
+    std::string blob((1u << 20) + 65536, 'x');
+    ASSERT_TRUE(c.sendRaw(blob));
+    ASSERT_TRUE(c.readLine(resp)) << "no error line before close";
+    EXPECT_NE(resp.find("request_too_large"), std::string::npos)
+        << resp;
+    EXPECT_TRUE(c.waitForClose());
+
+    // The drop is observable: counted and surfaced through stats.
+    EXPECT_EQ(svc.counters().requestTooLarge, 1u);
+    ServiceClient c2(sock);
+    ASSERT_TRUE(c2.connected());
+    ASSERT_TRUE(c2.roundTrip("{\"op\":\"stats\"}", resp));
+    EXPECT_NE(resp.find("\"request_too_large\":1"), std::string::npos)
+        << resp;
+
+    svc.requestStop();
+    svc.shutdown();
+}
+
+TEST(SweepService, IdleConnectionsAreReapedAndCounted)
+{
+    const std::string sock = socketPath("idle");
+    ServiceConfig cfg;
+    cfg.socketPath = sock;
+    cfg.workers = 1;
+    cfg.idleTimeoutMs = 150.0;
+    SweepService svc;
+    ASSERT_TRUE(svc.start(cfg));
+
+    ServiceClient c(sock);
+    ASSERT_TRUE(c.connected());
+    std::string resp;
+    // Activity resets the idle clock; the connection must survive a
+    // request-response exchange untouched.
+    ASSERT_TRUE(c.roundTrip("{\"op\":\"ping\"}", resp));
+    EXPECT_NE(resp.find("\"pong\""), std::string::npos);
+
+    // Then go silent: the server closes us within the timeout (plus
+    // poll granularity) instead of pinning the connection forever.
+    EXPECT_TRUE(c.waitForClose());
+    EXPECT_EQ(svc.counters().idleDisconnects, 1u);
+
+    // A fresh, active connection still works and sees the counter.
+    ServiceClient c2(sock);
+    ASSERT_TRUE(c2.connected());
+    ASSERT_TRUE(c2.roundTrip("{\"op\":\"stats\"}", resp));
+    EXPECT_NE(resp.find("\"idle_disconnects\":1"), std::string::npos)
+        << resp;
+
+    svc.requestStop();
+    svc.shutdown();
+}
+
+TEST(SweepService, CheckpointingServiceStillServesCorrectResults)
+{
+    // End-to-end smoke for the daemon checkpoint plumbing: a service
+    // with a checkpoint dir computes the same bytes as one without,
+    // writes its periodic checkpoint, removes it once the job's
+    // outcome is store-worthy, and requestCheckpointAll() is safe to
+    // call at any time (idle included — the daemon tick does).
+    const std::string sockA = socketPath("ckpa");
+    ServiceConfig plain;
+    plain.socketPath = sockA;
+    plain.workers = 1;
+    SweepService a;
+    ASSERT_TRUE(a.start(plain));
+    ServiceClient ca(sockA);
+    ASSERT_TRUE(ca.connected());
+    std::string respA;
+    ASSERT_TRUE(ca.roundTrip(runRequest("Filter", "ISRF4", 3), respA));
+    a.requestStop();
+    a.shutdown();
+
+    const std::string sockB = socketPath("ckpb");
+    const std::string dir = ::testing::TempDir() + "isrf_svc_ckpt_" +
+        std::to_string(::getpid());
+    ServiceConfig ck = plain;
+    ck.socketPath = sockB;
+    ck.checkpointDir = dir;
+    ck.checkpointEveryCycles = 1000;  // many saves within the job
+    SweepService b;
+    ASSERT_TRUE(b.start(ck));
+    b.requestCheckpointAll();  // idle: must be a safe no-op
+    ServiceClient cb(sockB);
+    ASSERT_TRUE(cb.connected());
+    std::string respB;
+    ASSERT_TRUE(cb.roundTrip(runRequest("Filter", "ISRF4", 3), respB));
+
+    JsonLineView va(respA), vb(respB);
+    std::string ra, rb;
+    ASSERT_TRUE(va.getRaw("result", ra));
+    ASSERT_TRUE(vb.getRaw("result", rb));
+    EXPECT_EQ(ra, rb);
+    EXPECT_GE(b.counters().checkpointSaves, 1u);
+    EXPECT_EQ(b.counters().checkpointRestores, 0u);
+
+    // Done outcome -> checkpoint file cleaned up; only the dir stays.
+    ASSERT_TRUE(cb.roundTrip("{\"op\":\"stats\"}", respB));
+    EXPECT_NE(respB.find("\"checkpoint_saves\""), std::string::npos);
+    b.requestStop();
+    b.shutdown();
+    ::rmdir(dir.c_str());  // fails (and the test with it) if non-empty
+    struct stat st;
+    EXPECT_NE(::stat(dir.c_str(), &st), 0) << "checkpoint dir not "
+        "empty after a replayable outcome";
 }
 
 } // namespace

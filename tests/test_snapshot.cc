@@ -1,0 +1,698 @@
+/**
+ * @file
+ * Tests for the versioned snapshot subsystem (util/snapshot.h,
+ * DESIGN.md §17) and mid-job checkpoint/restore:
+ *
+ *  - SnapshotWriter/SnapshotReader roundtrips and bounds checks;
+ *  - file-format framing, checksums, atomic writes, quarantine;
+ *  - exhaustive durability fuzz on the loader: truncation at EVERY
+ *    byte offset and a single-bit flip at EVERY byte offset must be
+ *    detected (never crash, never restore), plus the same corruptions
+ *    against a full machine checkpoint;
+ *  - the keystone golden-equivalence property: run to cycle C,
+ *    snapshot, load into a fresh Machine, run to completion — the
+ *    workload report is byte-identical to an uninterrupted run,
+ *    across all four machine kinds, representative workloads
+ *    (including SpMV and stencil) and both engine modes;
+ *  - the SweepRunner checkpoint lifecycle: resume-from-checkpoint
+ *    executes strictly fewer cycles, files are removed once a job's
+ *    outcome is journal-replayable.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "driver/sweep_runner.h"
+#include "util/snapshot.h"
+#include "workloads/workload.h"
+
+namespace isrf {
+namespace {
+
+/** Temp checkpoint directory removed (with contents) on scope exit. */
+class TempCkptDir
+{
+  public:
+    explicit TempCkptDir(const char *tag)
+    {
+        path_ = ::testing::TempDir() + "isrf_ckpt_" + tag + "_" +
+            std::to_string(::getpid());
+        std::string err;
+        EXPECT_TRUE(ensureCheckpointDir(path_, err)) << err;
+    }
+    ~TempCkptDir()
+    {
+        // Best-effort cleanup of the flat files this suite creates.
+        for (const char *suffix : {"", ".bad", ".tmp"}) {
+            std::remove((path_ + "/job.ckpt" + suffix).c_str());
+            std::remove((path_ + "/fuzz.ckpt" + suffix).c_str());
+        }
+        ::rmdir(path_.c_str());
+    }
+    std::string file(const char *name) const
+    {
+        return path_ + "/" + name;
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes)
+{
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(f.good()) << path;
+}
+
+std::string
+readBytes(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(f),
+                       std::istreambuf_iterator<char>());
+}
+
+// ----------------------------------------------------------------------
+// Writer/Reader primitives
+// ----------------------------------------------------------------------
+
+TEST(SnapshotIo, WriterReaderRoundtrip)
+{
+    SnapshotWriter w;
+    w.u8(0xAB);
+    w.b(true);
+    w.b(false);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFull);
+    w.i64(-42);
+    w.f64(3.14159265358979);
+    w.f64(-0.0);
+    w.str("hello snapshot");
+    w.str("");
+
+    SnapshotReader r(w.data());
+    uint8_t u8v = 0;
+    bool b1 = false, b2 = true;
+    uint32_t u32v = 0;
+    uint64_t u64v = 0;
+    int64_t i64v = 0;
+    double d1 = 0, d2 = 1;
+    std::string s1, s2;
+    EXPECT_TRUE(r.u8(u8v));
+    EXPECT_TRUE(r.b(b1));
+    EXPECT_TRUE(r.b(b2));
+    EXPECT_TRUE(r.u32(u32v));
+    EXPECT_TRUE(r.u64(u64v));
+    EXPECT_TRUE(r.i64(i64v));
+    EXPECT_TRUE(r.f64(d1));
+    EXPECT_TRUE(r.f64(d2));
+    EXPECT_TRUE(r.str(s1));
+    EXPECT_TRUE(r.str(s2));
+    EXPECT_EQ(u8v, 0xAB);
+    EXPECT_TRUE(b1);
+    EXPECT_FALSE(b2);
+    EXPECT_EQ(u32v, 0xDEADBEEFu);
+    EXPECT_EQ(u64v, 0x0123456789ABCDEFull);
+    EXPECT_EQ(i64v, -42);
+    EXPECT_DOUBLE_EQ(d1, 3.14159265358979);
+    EXPECT_TRUE(std::signbit(d2));  // -0.0 restored bit-exactly
+    EXPECT_EQ(s1, "hello snapshot");
+    EXPECT_EQ(s2, "");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapshotIo, ReaderBoundsAreSticky)
+{
+    SnapshotWriter w;
+    w.u32(7);
+    SnapshotReader r(w.data());
+    uint64_t v = 0;
+    EXPECT_FALSE(r.u64(v));  // only 4 bytes available
+    EXPECT_FALSE(r.ok());
+    uint32_t u = 0;
+    EXPECT_FALSE(r.u32(u));  // sticky: nothing reads after a failure
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(SnapshotIo, LenGuardRejectsOversizedCounts)
+{
+    // A corrupted count must not drive a huge allocation: len()
+    // validates the claimed element count against remaining bytes.
+    SnapshotWriter w;
+    w.u64(1ull << 40);  // claims 2^40 entries
+    SnapshotReader r(w.data());
+    uint64_t n = 0;
+    EXPECT_FALSE(r.len(n, 8));
+    EXPECT_FALSE(r.ok());
+}
+
+// ----------------------------------------------------------------------
+// File format: framing, checksums, atomic write, quarantine
+// ----------------------------------------------------------------------
+
+Snapshot
+syntheticSnapshot()
+{
+    Snapshot s;
+    s.fingerprint = 0xF00DF00Dull;
+    s.cycle = 424242;
+    s.geometry = 0xBEEFBEEFull;
+    SnapshotWriter a;
+    a.u32(1);
+    a.u64(2);
+    a.str("machine-ish payload");
+    s.addSection(kSnapMachine, a);
+    SnapshotWriter b;
+    for (int i = 0; i < 16; i++)
+        b.f64(i * 1.5);
+    s.addSection(kSnapSrf, b);
+    SnapshotWriter c;
+    c.u64(99);
+    s.addSection(kSnapProgram, c);
+    return s;
+}
+
+TEST(SnapshotFile, SerializeParseRoundtrip)
+{
+    Snapshot s = syntheticSnapshot();
+    std::string bytes = s.serialize();
+    Snapshot out;
+    std::string err;
+    ASSERT_TRUE(out.parse(bytes, err)) << err;
+    EXPECT_EQ(out.fingerprint, s.fingerprint);
+    EXPECT_EQ(out.cycle, s.cycle);
+    EXPECT_EQ(out.geometry, s.geometry);
+    ASSERT_EQ(out.sections.size(), 3u);
+    const std::string *mach = out.findSection(kSnapMachine);
+    ASSERT_NE(mach, nullptr);
+    EXPECT_EQ(*mach, *s.findSection(kSnapMachine));
+    EXPECT_EQ(out.findSection(kSnapCrossbar), nullptr);
+}
+
+TEST(SnapshotFile, LoadFileOkMissingStale)
+{
+    TempCkptDir dir("okms");
+    const std::string path = dir.file("job.ckpt");
+    Snapshot s = syntheticSnapshot();
+    std::string err;
+    ASSERT_TRUE(s.writeAtomic(path, err)) << err;
+
+    Snapshot out;
+    EXPECT_EQ(loadSnapshotFile(path, s.fingerprint, out, err),
+              SnapshotLoad::Ok);
+    EXPECT_EQ(out.cycle, s.cycle);
+
+    // Wrong job fingerprint: Stale, with a diagnostic.
+    EXPECT_EQ(loadSnapshotFile(path, 0x1234, out, err),
+              SnapshotLoad::Stale);
+    EXPECT_FALSE(err.empty());
+
+    // No file: Missing, err empty (a first run, not a problem).
+    err.clear();
+    EXPECT_EQ(loadSnapshotFile(dir.file("nope.ckpt"), 1, out, err),
+              SnapshotLoad::Missing);
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(SnapshotFile, QuarantineRenamesToBad)
+{
+    TempCkptDir dir("quar");
+    const std::string path = dir.file("job.ckpt");
+    writeBytes(path, "definitely not a snapshot");
+    quarantineSnapshotFile(path, "test corruption");
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_TRUE(fileExists(path + ".bad"));
+}
+
+TEST(SnapshotFile, CheckpointPathHelper)
+{
+    EXPECT_EQ(checkpointFilePath("/tmp/x", 0xABCDull),
+              "/tmp/x/job-000000000000abcd.ckpt");
+}
+
+TEST(SnapshotFile, EnsureCheckpointDirCreatesNested)
+{
+    std::string base = ::testing::TempDir() + "isrf_ckpt_nest_" +
+        std::to_string(::getpid());
+    std::string nested = base + "/a/b";
+    std::string err;
+    ASSERT_TRUE(ensureCheckpointDir(nested, err)) << err;
+    EXPECT_TRUE(fileExists(nested));
+    ASSERT_TRUE(ensureCheckpointDir(nested, err)) << err;  // idempotent
+    ::rmdir(nested.c_str());
+    ::rmdir((base + "/a").c_str());
+    ::rmdir(base.c_str());
+}
+
+// ----------------------------------------------------------------------
+// Durability fuzz: the loader must detect EVERY truncation and EVERY
+// single-bit flip — never crash, never return Ok for damaged bytes.
+// ----------------------------------------------------------------------
+
+TEST(SnapshotFuzz, TruncationAtEveryByteOffsetIsDetected)
+{
+    TempCkptDir dir("trunc");
+    const std::string path = dir.file("fuzz.ckpt");
+    const std::string bytes = syntheticSnapshot().serialize();
+    ASSERT_GT(bytes.size(), 100u);
+
+    for (size_t cut = 0; cut < bytes.size(); cut++) {
+        writeBytes(path, bytes.substr(0, cut));
+        Snapshot out;
+        std::string err;
+        EXPECT_EQ(loadSnapshotFile(path, 0xF00DF00Dull, out, err),
+                  SnapshotLoad::Corrupt)
+            << "truncation at byte " << cut << " not detected";
+        EXPECT_FALSE(err.empty());
+    }
+    // Sanity: the untruncated file loads.
+    writeBytes(path, bytes);
+    Snapshot out;
+    std::string err;
+    EXPECT_EQ(loadSnapshotFile(path, 0xF00DF00Dull, out, err),
+              SnapshotLoad::Ok) << err;
+}
+
+TEST(SnapshotFuzz, BitFlipAtEveryByteOffsetIsDetected)
+{
+    TempCkptDir dir("flip");
+    const std::string path = dir.file("fuzz.ckpt");
+    const std::string bytes = syntheticSnapshot().serialize();
+
+    for (size_t i = 0; i < bytes.size(); i++) {
+        std::string damaged = bytes;
+        damaged[i] = static_cast<char>(
+            static_cast<uint8_t>(damaged[i]) ^ (1u << (i % 8)));
+        writeBytes(path, damaged);
+        Snapshot out;
+        std::string err;
+        EXPECT_EQ(loadSnapshotFile(path, 0xF00DF00Dull, out, err),
+                  SnapshotLoad::Corrupt)
+            << "bit flip at byte " << i << " not detected";
+    }
+}
+
+// ----------------------------------------------------------------------
+// Keystone: checkpoint/resume golden equivalence through workloads
+// ----------------------------------------------------------------------
+
+/**
+ * Run `workload` on `kind` uninterrupted; again with a checkpoint
+ * context that stops right after its first mid-run save; then resume
+ * from that checkpoint in a fresh Machine and require the final
+ * report to be byte-identical to the uninterrupted run's, with the
+ * resumed process having executed strictly fewer cycles.
+ */
+void
+expectResumeEquivalent(const std::string &workload, MachineKind kind,
+                       EngineMode mode, const char *tag)
+{
+    SCOPED_TRACE(workload + " / " + machineKindName(kind) + " / " +
+                 engineModeName(mode));
+    MachineConfig cfg = MachineConfig::make(kind);
+    cfg.engineMode = mode;
+    WorkloadOptions opts;
+    opts.repeats = 2;
+
+    // Uninterrupted baseline.
+    WorkloadResult base = runWorkload(workload, cfg, opts);
+    ASSERT_EQ(base.status, RunStatus::Done);
+    ASSERT_TRUE(base.correct);
+    ASSERT_GT(base.cycles, 10u);
+    const std::string baseJson = resultJson(base);
+
+    TempCkptDir dir(tag);
+    const std::string path = dir.file("job.ckpt");
+    const uint64_t fp = 0x1234ABCDull;
+    const uint64_t cadence = std::max<uint64_t>(1, base.cycles / 3);
+
+    // Interrupted run: save one mid-flight checkpoint, then stop (the
+    // stopAfterSave hook stands in for a SIGKILL at that cycle).
+    CheckpointContext c1(path, fp, cadence);
+    c1.stopAfterSave = true;
+    WorkloadOptions o1 = opts;
+    o1.checkpoint = &c1;
+    WorkloadResult part = runWorkload(workload, cfg, o1);
+    ASSERT_EQ(c1.saves(), 1u);
+    ASSERT_EQ(part.status, RunStatus::Cancelled);
+    ASSERT_LT(part.cycles, base.cycles);
+    ASSERT_TRUE(fileExists(path));
+
+    // Resume in a fresh Machine (the workload rebuilds it), run to
+    // completion: the report must be byte-identical.
+    CheckpointContext c2(path, fp, cadence);
+    WorkloadOptions o2 = opts;
+    o2.checkpoint = &c2;
+    WorkloadResult resumed = runWorkload(workload, cfg, o2);
+    EXPECT_EQ(c2.restores(), 1u);
+    EXPECT_EQ(c2.quarantined(), 0u);
+    EXPECT_EQ(resumed.status, RunStatus::Done);
+    EXPECT_TRUE(resumed.correct);
+    EXPECT_EQ(resultJson(resumed), baseJson);
+    // The resumed process simulated only the tail: strictly fewer
+    // cycles than the whole run (the CI resilience invariant).
+    EXPECT_GT(c2.executedCycles(), 0u);
+    EXPECT_LT(c2.executedCycles(), base.cycles);
+}
+
+TEST(CheckpointResume, GoldenEquivalenceBase)
+{
+    expectResumeEquivalent("Histogram", MachineKind::Base,
+                           EngineMode::Dense, "gbase");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceIsrf1)
+{
+    expectResumeEquivalent("Histogram", MachineKind::ISRF1,
+                           EngineMode::Dense, "gisrf1");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceIsrf4)
+{
+    expectResumeEquivalent("Histogram", MachineKind::ISRF4,
+                           EngineMode::Dense, "gisrf4");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceCache)
+{
+    expectResumeEquivalent("Histogram", MachineKind::Cache,
+                           EngineMode::Dense, "gcache");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceSpmv)
+{
+    expectResumeEquivalent("SpMV Random", MachineKind::ISRF4,
+                           EngineMode::Dense, "gspmv");
+    expectResumeEquivalent("SpMV Banded", MachineKind::Base,
+                           EngineMode::Dense, "gspmvb");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceStencil)
+{
+    expectResumeEquivalent("Stencil 2D5", MachineKind::Cache,
+                           EngineMode::Dense, "gsten");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceFft)
+{
+    expectResumeEquivalent("FFT 2D", MachineKind::ISRF4,
+                           EngineMode::Dense, "gfft");
+}
+
+TEST(CheckpointResume, GoldenEquivalenceSkipEngine)
+{
+    expectResumeEquivalent("Histogram", MachineKind::ISRF4,
+                           EngineMode::Skip, "gskip");
+    expectResumeEquivalent("SpMV Power", MachineKind::Cache,
+                           EngineMode::Skip, "gskip2");
+}
+
+// ----------------------------------------------------------------------
+// Fallback behavior through the full run path
+// ----------------------------------------------------------------------
+
+TEST(CheckpointResume, CorruptCheckpointQuarantinedAndRestartsClean)
+{
+    const std::string workload = "Histogram";
+    MachineConfig cfg = MachineConfig::make(MachineKind::ISRF1);
+    WorkloadOptions opts;
+    opts.repeats = 2;
+    WorkloadResult base = runWorkload(workload, cfg, opts);
+    ASSERT_EQ(base.status, RunStatus::Done);
+    const std::string baseJson = resultJson(base);
+
+    TempCkptDir dir("corrupt");
+    const std::string path = dir.file("job.ckpt");
+    const uint64_t fp = 0x77ull;
+    const uint64_t cadence = std::max<uint64_t>(1, base.cycles / 3);
+
+    CheckpointContext c1(path, fp, cadence);
+    c1.stopAfterSave = true;
+    WorkloadOptions o1 = opts;
+    o1.checkpoint = &c1;
+    runWorkload(workload, cfg, o1);
+    ASSERT_EQ(c1.saves(), 1u);
+
+    // Flip one byte in the middle of the file.
+    std::string bytes = readBytes(path);
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(static_cast<uint8_t>(
+            bytes[bytes.size() / 2]) ^ 0x40);
+    writeBytes(path, bytes);
+
+    // The resume must detect it, quarantine, restart from zero, and
+    // still produce the byte-identical correct report.
+    CheckpointContext c2(path, fp, 0);  // cadence 0: no periodic saves
+    WorkloadOptions o2 = opts;
+    o2.checkpoint = &c2;
+    WorkloadResult res = runWorkload(workload, cfg, o2);
+    EXPECT_EQ(c2.restores(), 0u);
+    EXPECT_EQ(c2.quarantined(), 1u);
+    EXPECT_FALSE(fileExists(path));
+    EXPECT_TRUE(fileExists(path + ".bad"));
+    EXPECT_EQ(res.status, RunStatus::Done);
+    EXPECT_TRUE(res.correct);
+    EXPECT_EQ(resultJson(res), baseJson);
+    std::remove((path + ".bad").c_str());
+}
+
+TEST(CheckpointResume, TruncatedCheckpointQuarantinedAtManyOffsets)
+{
+    // The exhaustive per-byte fuzz above runs on a small synthetic
+    // snapshot; this pass drives a REAL machine checkpoint through
+    // the same loader at strided truncation points (exhaustive would
+    // be O(size^2) on a multi-KB file).
+    const std::string workload = "Histogram";
+    MachineConfig cfg = MachineConfig::make(MachineKind::Base);
+    WorkloadOptions opts;
+    opts.repeats = 2;
+    WorkloadResult base = runWorkload(workload, cfg, opts);
+    ASSERT_EQ(base.status, RunStatus::Done);
+
+    TempCkptDir dir("trreal");
+    const std::string path = dir.file("job.ckpt");
+    const uint64_t fp = 0x88ull;
+    CheckpointContext c1(path, fp,
+                         std::max<uint64_t>(1, base.cycles / 3));
+    c1.stopAfterSave = true;
+    WorkloadOptions o1 = opts;
+    o1.checkpoint = &c1;
+    runWorkload(workload, cfg, o1);
+    ASSERT_EQ(c1.saves(), 1u);
+
+    const std::string bytes = readBytes(path);
+    ASSERT_GT(bytes.size(), 256u);
+    const size_t stride = std::max<size_t>(1, bytes.size() / 97);
+    for (size_t cut = 0; cut < bytes.size(); cut += stride) {
+        writeBytes(path, bytes.substr(0, cut));
+        Snapshot out;
+        std::string err;
+        EXPECT_EQ(loadSnapshotFile(path, fp, out, err),
+                  SnapshotLoad::Corrupt)
+            << "truncation at byte " << cut << "/" << bytes.size();
+    }
+    // And single-bit flips at the same strided offsets.
+    for (size_t i = 0; i < bytes.size(); i += stride) {
+        std::string damaged = bytes;
+        damaged[i] = static_cast<char>(
+            static_cast<uint8_t>(damaged[i]) ^ (1u << (i % 8)));
+        writeBytes(path, damaged);
+        Snapshot out;
+        std::string err;
+        EXPECT_EQ(loadSnapshotFile(path, fp, out, err),
+                  SnapshotLoad::Corrupt)
+            << "bit flip at byte " << i << "/" << bytes.size();
+    }
+    writeBytes(path, bytes);
+    Snapshot out;
+    std::string err;
+    EXPECT_EQ(loadSnapshotFile(path, fp, out, err), SnapshotLoad::Ok)
+        << err;
+}
+
+TEST(CheckpointResume, StaleFingerprintIgnoredNotQuarantined)
+{
+    const std::string workload = "Histogram";
+    MachineConfig cfg = MachineConfig::make(MachineKind::Base);
+    WorkloadOptions opts;
+    opts.repeats = 2;
+    WorkloadResult base = runWorkload(workload, cfg, opts);
+    const std::string baseJson = resultJson(base);
+
+    TempCkptDir dir("stale");
+    const std::string path = dir.file("job.ckpt");
+    CheckpointContext c1(path, 0xAAAAull,
+                         std::max<uint64_t>(1, base.cycles / 3));
+    c1.stopAfterSave = true;
+    WorkloadOptions o1 = opts;
+    o1.checkpoint = &c1;
+    runWorkload(workload, cfg, o1);
+    ASSERT_EQ(c1.saves(), 1u);
+
+    // A context for a DIFFERENT job must not restore, must not
+    // quarantine (the file belongs to someone else), and must still
+    // produce a clean from-zero run.
+    CheckpointContext c2(path, 0xBBBBull, 0);
+    WorkloadOptions o2 = opts;
+    o2.checkpoint = &c2;
+    WorkloadResult res = runWorkload(workload, cfg, o2);
+    EXPECT_EQ(c2.restores(), 0u);
+    EXPECT_EQ(c2.quarantined(), 0u);
+    EXPECT_TRUE(fileExists(path));  // untouched
+    EXPECT_EQ(res.status, RunStatus::Done);
+    EXPECT_EQ(resultJson(res), baseJson);
+}
+
+// ----------------------------------------------------------------------
+// SweepRunner lifecycle
+// ----------------------------------------------------------------------
+
+TEST(SweepCheckpoint, RunnerResumesAndCleansUp)
+{
+    SweepJob job;
+    job.workload = "Histogram";
+    job.cfg = MachineConfig::make(MachineKind::Base);
+    job.opts.repeats = 2;
+    const uint64_t fp = SweepRunner::fingerprint(job);
+
+    // Uninterrupted baseline through the runner.
+    SweepRunner runner(1);
+    auto baseOut = runner.run({job});
+    ASSERT_EQ(baseOut.size(), 1u);
+    ASSERT_EQ(baseOut[0].status, RunStatus::Done);
+    const std::string baseJson = baseOut[0].resultText;
+    const uint64_t totalCycles = baseOut[0].result.cycles;
+    ASSERT_GT(totalCycles, 10u);
+
+    // Simulate a killed job: leave a mid-flight checkpoint behind at
+    // the exact path the runner derives from the job fingerprint.
+    TempCkptDir dir("runner");
+    const std::string path = checkpointFilePath(dir.path(), fp);
+    CheckpointContext c1(path, fp,
+                         std::max<uint64_t>(1, totalCycles / 3));
+    c1.stopAfterSave = true;
+    WorkloadOptions o1 = job.opts;
+    o1.checkpoint = &c1;
+    runWorkload(job.workload, job.cfg, o1);
+    ASSERT_EQ(c1.saves(), 1u);
+    ASSERT_TRUE(fileExists(path));
+
+    // The policy-driven run resumes from it, reports byte-identical
+    // results, executed strictly fewer cycles, and removes the file
+    // once the outcome is replayable.
+    SweepPolicy policy;
+    policy.checkpointDir = dir.path();
+    policy.checkpointEveryCycles =
+        std::max<uint64_t>(1, totalCycles / 3);
+    auto out = runner.run({job}, policy);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].status, RunStatus::Done);
+    EXPECT_EQ(out[0].resultText, baseJson);
+    const SweepTiming &t = runner.timing();
+    EXPECT_EQ(t.checkpointRestores, 1u);
+    EXPECT_GT(t.simCyclesExecuted, 0u);
+    EXPECT_LT(t.simCyclesExecuted, totalCycles);
+    EXPECT_FALSE(fileExists(path));
+
+    // A fresh checkpointed run (no file) starts from zero, saves on
+    // cadence, still matches, and cleans up after itself.
+    auto out2 = runner.run({job}, policy);
+    EXPECT_EQ(out2[0].resultText, baseJson);
+    EXPECT_EQ(runner.timing().checkpointRestores, 0u);
+    EXPECT_GE(runner.timing().checkpointSaves, 1u);
+    EXPECT_EQ(runner.timing().simCyclesExecuted, totalCycles);
+    EXPECT_FALSE(fileExists(path));
+}
+
+TEST(SweepCheckpoint, PolicyKnobsExcludedFromFingerprint)
+{
+    // Checkpointing observes a run without changing its results, so
+    // it must not invalidate journals: the canonical job text (and
+    // hence every fingerprint) ignores the checkpoint policy and the
+    // per-job context pointer.
+    SweepJob a;
+    a.workload = "Filter";
+    a.cfg = MachineConfig::make(MachineKind::Base);
+    SweepJob b = a;
+    CheckpointContext ctx("/tmp/nowhere.ckpt", 1, 100);
+    b.opts.checkpoint = &ctx;
+    EXPECT_EQ(SweepRunner::canonicalJobText(a),
+              SweepRunner::canonicalJobText(b));
+    EXPECT_EQ(SweepRunner::fingerprint(a), SweepRunner::fingerprint(b));
+}
+
+// ----------------------------------------------------------------------
+// Machine-level snapshot plumbing
+// ----------------------------------------------------------------------
+
+TEST(MachineSnapshot, GeometryHashSeparatesConfigs)
+{
+    Machine base, isrf4, cache;
+    base.init(MachineConfig::make(MachineKind::Base));
+    isrf4.init(MachineConfig::make(MachineKind::ISRF4));
+    cache.init(MachineConfig::make(MachineKind::Cache));
+    EXPECT_NE(base.geometryHash(), isrf4.geometryHash());
+    EXPECT_NE(base.geometryHash(), cache.geometryHash());
+    EXPECT_NE(isrf4.geometryHash(), cache.geometryHash());
+
+    Machine base2;
+    base2.init(MachineConfig::make(MachineKind::Base));
+    EXPECT_EQ(base.geometryHash(), base2.geometryHash());
+}
+
+TEST(MachineSnapshot, LoadRejectsWrongGeometry)
+{
+    Machine base;
+    base.init(MachineConfig::make(MachineKind::Base));
+    Snapshot snap;
+    base.saveSnapshot(snap);
+
+    Machine other;
+    other.init(MachineConfig::make(MachineKind::ISRF4));
+    std::string err;
+    EXPECT_FALSE(other.loadSnapshot(snap, nullptr, &err));
+    EXPECT_NE(err.find("geometry"), std::string::npos) << err;
+}
+
+TEST(MachineSnapshot, IdleMachineRoundtripRestoresClock)
+{
+    Machine m;
+    m.init(MachineConfig::make(MachineKind::ISRF1));
+    m.step(1234);
+    EXPECT_EQ(m.now(), 1234u);
+    Snapshot snap;
+    m.saveSnapshot(snap);
+    EXPECT_EQ(snap.cycle, 1234u);
+
+    Machine fresh;
+    fresh.init(MachineConfig::make(MachineKind::ISRF1));
+    EXPECT_EQ(fresh.now(), 0u);
+    std::string err;
+    ASSERT_TRUE(fresh.loadSnapshot(snap, nullptr, &err)) << err;
+    EXPECT_EQ(fresh.now(), 1234u);
+}
+
+} // namespace
+} // namespace isrf

@@ -63,6 +63,14 @@ usage(const char *argv0)
         "  --store <file>         result-store log (default: "
         "in-memory only)\n"
         "  --store-max-bytes <n>  store LRU budget (default 64 MiB)\n"
+        "  --checkpoint-dir <d>   write mid-job checkpoints into <d>;\n"
+        "                         re-submitted jobs resume from them\n"
+        "  --checkpoint-every-cycles <n>\n"
+        "                         checkpoint cadence in simulated\n"
+        "                         cycles (default 250000 when\n"
+        "                         --checkpoint-dir is set)\n"
+        "  --idle-timeout-ms <ms> close connections idle for <ms>\n"
+        "                         (0 = never, the default)\n"
         "  --allow-test-jobs      accept the synthetic '__hang__' "
         "workload\n"
         "  --dataset <file.mtx>   register a MatrixMarket file as an\n"
@@ -144,6 +152,17 @@ main(int argc, char **argv)
             }
             std::fprintf(stderr, "isrf_sweepd: registered dataset "
                          "workload '%s'\n", name.c_str());
+        } else if (s == "--checkpoint-dir") {
+            cfg.checkpointDir = next("--checkpoint-dir");
+        } else if (s == "--checkpoint-every-cycles") {
+            if (!parseU64(next("--checkpoint-every-cycles"), u))
+                fatal("--checkpoint-every-cycles expects a cycle "
+                      "count");
+            cfg.checkpointEveryCycles = u;
+        } else if (s == "--idle-timeout-ms") {
+            if (!parseNonNegDouble(next("--idle-timeout-ms"),
+                                   cfg.idleTimeoutMs))
+                fatal("--idle-timeout-ms expects milliseconds");
         } else if (s == "--allow-test-jobs") {
             cfg.allowTestJobs = true;
         } else if (s == "--verbose") {
@@ -161,6 +180,8 @@ main(int argc, char **argv)
         usage(argv[0]);
         return 2;
     }
+    if (!cfg.checkpointDir.empty() && cfg.checkpointEveryCycles == 0)
+        cfg.checkpointEveryCycles = 250000;
 
     SweepService svc;
     if (!svc.start(cfg))
@@ -174,6 +195,10 @@ main(int argc, char **argv)
     std::fflush(stdout);
 
     bool drainAnnounced = false;
+    // Periodic checkpoint tick: every ~5s of this 50ms loop, ask all
+    // running jobs to snapshot at their next cycle boundary, so even a
+    // later kill -9 loses at most a few seconds of simulation.
+    int ticksToCheckpoint = 100;
     for (;;) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
         if (gSignals >= 2) {
@@ -187,10 +212,18 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "isrf_sweepd: draining (%zu "
                              "job(s) in flight)\n", svc.pendingJobs());
                 drainAnnounced = true;
+                // Snapshot everything still running right away:
+                // requestDrain() itself must stay signal-safe, but
+                // this loop runs on the main thread and may lock.
+                svc.requestCheckpointAll();
             }
             svc.requestDrain();
             if (svc.pendingJobs() == 0)
                 break;
+        }
+        if (--ticksToCheckpoint <= 0) {
+            ticksToCheckpoint = 100;
+            svc.requestCheckpointAll();
         }
     }
     svc.shutdown();
